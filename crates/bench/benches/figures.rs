@@ -1,0 +1,116 @@
+//! Criterion benches of end-to-end figure regeneration: one
+//! representative point per paper artefact, at reduced transaction
+//! counts. Together with `substrate.rs` this bounds the cost of a full
+//! `suite --paper` run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pcie_device::{DeviceParams, DmaPath, Platform};
+use pcie_host::presets::HostPreset;
+use pcie_host::HostSystem;
+use pcie_link::LinkTiming;
+use pcie_model::config::LinkConfig;
+use pcie_nic::{LoopbackNic, LoopbackParams, NicSim};
+use pciebench::{run_bandwidth, run_latency, BenchParams, BenchSetup, BwOp, IommuMode, LatOp};
+
+fn fig4_point(c: &mut Criterion) {
+    let setup = BenchSetup::netfpga_hsw();
+    c.bench_function("figures/fig4_bw_rd_64B_2k_txns", |b| {
+        b.iter(|| {
+            run_bandwidth(
+                &setup,
+                &BenchParams::baseline(64),
+                BwOp::Rd,
+                2_000,
+                DmaPath::DmaEngine,
+            )
+            .gbps
+        })
+    });
+}
+
+fn fig5_point(c: &mut Criterion) {
+    let setup = BenchSetup::nfp6000_hsw();
+    c.bench_function("figures/fig5_lat_rd_64B_500_txns", |b| {
+        b.iter(|| {
+            run_latency(
+                &setup,
+                &BenchParams::baseline(64),
+                LatOp::Rd,
+                500,
+                DmaPath::DmaEngine,
+            )
+            .summary
+            .median
+        })
+    });
+}
+
+fn fig6_point(c: &mut Criterion) {
+    let setup = BenchSetup::nfp6000_hsw_e3();
+    c.bench_function("figures/fig6_e3_lat_500_txns", |b| {
+        b.iter(|| {
+            run_latency(
+                &setup,
+                &BenchParams::baseline(64),
+                LatOp::Rd,
+                500,
+                DmaPath::DmaEngine,
+            )
+            .summary
+            .p99
+        })
+    });
+}
+
+fn fig9_point(c: &mut Criterion) {
+    let setup = BenchSetup::nfp6000_bdw().with_iommu(IommuMode::FourK);
+    let params = BenchParams {
+        window: 8 << 20,
+        ..BenchParams::baseline(64)
+    };
+    c.bench_function("figures/fig9_iommu_bw_2k_txns", |b| {
+        b.iter(|| run_bandwidth(&setup, &params, BwOp::Rd, 2_000, DmaPath::DmaEngine).gbps)
+    });
+}
+
+fn fig2_point(c: &mut Criterion) {
+    c.bench_function("figures/fig2_loopback_31_medians", |b| {
+        b.iter(|| {
+            let host = HostSystem::new(HostPreset::netfpga_hsw(), 7);
+            let platform = Platform::new(
+                DeviceParams::netfpga(),
+                host,
+                LinkConfig::gen3_x8(),
+                LinkTiming::default(),
+            );
+            let mut nic = LoopbackNic::new(LoopbackParams::default(), platform);
+            black_box(nic.measure_median(128, 31))
+        })
+    });
+}
+
+fn fig1_dynamic_point(c: &mut Criterion) {
+    use pcie_model::nic::NicModelParams;
+    c.bench_function("figures/fig1_nicsim_kernel_1k_pkts", |b| {
+        b.iter(|| {
+            let host = HostSystem::new(HostPreset::netfpga_hsw(), 7);
+            let platform = Platform::new(
+                DeviceParams::nic_dma_engine(),
+                host,
+                LinkConfig::gen3_x8(),
+                LinkTiming::default(),
+            );
+            let mut sim = NicSim::new(NicModelParams::kernel(), platform);
+            sim.run(256, 1_000).gbps
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = fig4_point, fig5_point, fig6_point, fig9_point, fig2_point, fig1_dynamic_point
+);
+criterion_main!(benches);

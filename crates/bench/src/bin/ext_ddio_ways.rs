@@ -1,0 +1,86 @@
+//! Ablation: how large should the DDIO partition be?
+//!
+//! The paper measures Intel's fixed choice — 2 of 20 LLC ways (10 %,
+//! §6.3) — and finds the WRRD penalty appears once the DMA working set
+//! exceeds it. This ablation varies the partition (the design knob
+//! Intel later exposed as "DDIO ways" MSRs) and locates the knee for
+//! each setting, separating the *architecture* (write-allocation into a
+//! way-partition) from the *parameter* (how many ways).
+//!
+//! Usage: `cargo run --release --bin ext_ddio_ways`
+
+use pcie_bench_harness::{header, n};
+use pcie_device::DmaPath;
+use pcie_host::presets::NumaPlacement;
+use pciebench::{run_latency, BenchParams, BenchSetup, CacheState, LatOp, Pattern};
+
+fn main() {
+    header("Ablation: DDIO way-partition size vs the WRRD-cold knee (SNB host)");
+    let base_txns = n(60_000);
+    let windows: Vec<u64> = (0..12).map(|i| (64 * 1024u64) << i).collect(); // 64KiB..128MiB
+    println!("# LAT_WRRD cold mean (ns); LLC 15MiB, 20 ways, 64B lines");
+    print!("# {:>10}", "window");
+    for ways in [1usize, 2, 4, 8] {
+        print!(" {:>9}", format!("{ways}-way"));
+    }
+    println!("  (partition: 0.75, 1.5, 3, 6 MiB)");
+
+    let mut knees = Vec::new();
+    for &w in &windows {
+        print!("{:>12}", w);
+        for ways in [1usize, 2, 4, 8] {
+            let mut setup = BenchSetup::nfp6000_snb();
+            setup.preset.ddio_ways = ways;
+            let params = BenchParams {
+                window: w,
+                transfer: 8,
+                offset: 0,
+                pattern: Pattern::Random,
+                cache: CacheState::Cold,
+                placement: NumaPlacement::Local,
+            };
+            // Bigger partitions need more transactions to wrap: the
+            // knee only shows once the benchmark's own dirty lines
+            // start evicting each other.
+            let txns = base_txns * ways;
+            let r = run_latency(&setup, &params, LatOp::WrRd, txns, DmaPath::CommandIf);
+            print!(" {:>9.0}", r.summary.avg);
+            knees.push((ways, w, r.summary.avg));
+        }
+        println!();
+    }
+
+    // Locate each configuration's knee: first window whose mean rises
+    // ≥20ns over that configuration's smallest-window mean.
+    println!("\n# Knee positions (first window with ≥20ns penalty):");
+    for ways in [1usize, 2, 4, 8] {
+        let series: Vec<(u64, f64)> = knees
+            .iter()
+            .filter(|(wy, _, _)| *wy == ways)
+            .map(|&(_, w, m)| (w, m))
+            .collect();
+        let base = series[0].1;
+        let knee = series.iter().find(|(_, m)| *m - base >= 20.0);
+        let partition = 15 * 1024 * 1024 * ways as u64 / 20;
+        match knee {
+            Some((w, _)) => {
+                println!(
+                    "#   {ways} ways (partition {:>5} KiB): knee at window {:>7} KiB",
+                    partition >> 10,
+                    w >> 10
+                );
+                assert!(
+                    *w >= partition / 2 && *w <= partition * 8,
+                    "knee should track the partition size"
+                );
+            }
+            None => println!(
+                "#   {ways} ways (partition {:>5} KiB): no knee inside the sweep",
+                partition >> 10
+            ),
+        }
+    }
+    println!("\n# The knee tracks the partition size: doubling the DDIO ways doubles");
+    println!("# the I/O working set the LLC absorbs before flush penalties appear —");
+    println!("# at the cost of cache capacity for the CPUs (§7's DDIO trade-off).");
+}

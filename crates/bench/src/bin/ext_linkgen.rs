@@ -1,0 +1,134 @@
+//! Extension (§6: "the methodology is equally applicable to other
+//! PCIe configurations including the next generation PCIe Gen 4 once
+//! hardware is available"): model and measured bandwidth across link
+//! generations and widths, plus an MPS/MRRS sensitivity ablation.
+//!
+//! Usage: `cargo run --release --bin ext_linkgen`
+
+use pcie_bench_harness::{header, n};
+use pcie_device::{DeviceParams, DmaPath};
+use pcie_model::bandwidth as model;
+use pcie_model::config::{LinkConfig, PcieGen};
+use pciebench::{run_bandwidth, BenchParams, BenchSetup, BwOp};
+
+fn setup_with(link: LinkConfig) -> BenchSetup {
+    BenchSetup {
+        link,
+        // a fast device so the *link* is the variable under test
+        device: DeviceParams::nic_dma_engine(),
+        ..BenchSetup::netfpga_hsw()
+    }
+}
+
+fn main() {
+    let txns = n(15_000);
+    header("Link-generation sweep: BW_RD / BW_WR (measured vs model, Gb/s)");
+    println!(
+        "# {:>10} {:>6} {:>12} {:>12} {:>12} {:>12}",
+        "link", "size", "rd sim", "rd model", "wr sim", "wr model"
+    );
+    let configs = [
+        ("Gen1 x8", PcieGen::Gen1, 8u32),
+        ("Gen2 x8", PcieGen::Gen2, 8),
+        ("Gen3 x8", PcieGen::Gen3, 8),
+        ("Gen4 x8", PcieGen::Gen4, 8),
+        ("Gen4 x16", PcieGen::Gen4, 16),
+        ("Gen5 x16", PcieGen::Gen5, 16),
+    ];
+    for (name, gen, lanes) in configs {
+        let link = LinkConfig {
+            gen,
+            lanes,
+            ..LinkConfig::gen3_x8()
+        };
+        let setup = setup_with(link);
+        for sz in [256u32, 1024] {
+            let rd = run_bandwidth(
+                &setup,
+                &BenchParams::baseline(sz),
+                BwOp::Rd,
+                txns,
+                DmaPath::DmaEngine,
+            );
+            let wr = run_bandwidth(
+                &setup,
+                &BenchParams::baseline(sz),
+                BwOp::Wr,
+                txns,
+                DmaPath::DmaEngine,
+            );
+            println!(
+                "{:>12} {:>5}B {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+                name,
+                sz,
+                rd.gbps,
+                model::read_bandwidth(&link, sz) / 1e9,
+                wr.gbps,
+                model::write_bandwidth(&link, sz) / 1e9,
+            );
+        }
+    }
+
+    header("MPS/MRRS sensitivity (Gen3 x8, 1024B transfers)");
+    println!(
+        "# {:>6} {:>6} {:>12} {:>12}",
+        "MPS", "MRRS", "BW_RD", "BW_WR"
+    );
+    for (mps, mrrs) in [
+        (128u32, 128u32),
+        (128, 512),
+        (256, 512),
+        (512, 512),
+        (512, 4096),
+    ] {
+        let link = LinkConfig {
+            mps,
+            mrrs,
+            ..LinkConfig::gen3_x8()
+        };
+        let setup = setup_with(link);
+        let rd = run_bandwidth(
+            &setup,
+            &BenchParams::baseline(1024),
+            BwOp::Rd,
+            txns,
+            DmaPath::DmaEngine,
+        );
+        let wr = run_bandwidth(
+            &setup,
+            &BenchParams::baseline(1024),
+            BwOp::Wr,
+            txns,
+            DmaPath::DmaEngine,
+        );
+        println!("{:>8} {:>6} {:>12.1} {:>12.1}", mps, mrrs, rd.gbps, wr.gbps);
+    }
+    println!("\n# Larger MPS amortises the 20-24B per-TLP headers; MRRS mainly trades");
+    println!("# request-TLP overhead on the upstream direction (Eq. 2).");
+
+    // Shape checks.
+    let g3 = run_bandwidth(
+        &setup_with(LinkConfig::gen3_x8()),
+        &BenchParams::baseline(1024),
+        BwOp::Wr,
+        txns,
+        DmaPath::DmaEngine,
+    );
+    let g4 = run_bandwidth(
+        &setup_with(LinkConfig::gen4_x16()),
+        &BenchParams::baseline(1024),
+        BwOp::Wr,
+        txns,
+        DmaPath::DmaEngine,
+    );
+    assert!(
+        g4.gbps > 3.0 * g3.gbps,
+        "Gen4 x16 must deliver ~4x Gen3 x8: {:.1} vs {:.1}",
+        g4.gbps,
+        g3.gbps
+    );
+    println!(
+        "\n# check: Gen4 x16 ≈ 4x Gen3 x8 for large writes ({:.1} vs {:.1} Gb/s)",
+        g4.gbps, g3.gbps
+    );
+}

@@ -1,0 +1,63 @@
+//! Figure 1 — Modelled bidirectional bandwidth of a PCIe Gen 3 x8 link:
+//! effective PCIe bandwidth, a Simple NIC, a modern NIC with a kernel
+//! driver, and the same NIC with a DPDK driver, against the 40 GbE
+//! requirement.
+//!
+//! Usage: `cargo run --release --bin fig1_nic_models`
+
+use pcie_bench_harness::header;
+use pcie_model::bandwidth::{effective_bidir_bandwidth, ethernet_required_bandwidth};
+use pcie_model::config::LinkConfig;
+use pcie_model::nic::{NicModel, NicModelParams};
+use pciebench::report::format_multi_series;
+
+fn main() {
+    header("Figure 1: modelled bidirectional bandwidth, PCIe Gen 3 x8");
+    let link = LinkConfig::gen3_x8();
+    let simple = NicModel::new(NicModelParams::simple(), link);
+    let kernel = NicModel::new(NicModelParams::kernel(), link);
+    let dpdk = NicModel::new(NicModelParams::dpdk(), link);
+
+    let sizes: Vec<u32> = (64..=1280).step_by(32).collect();
+    let col = |f: &dyn Fn(u32) -> f64| -> Vec<(u32, f64)> {
+        sizes.iter().map(|&s| (s, f(s) / 1e9)).collect()
+    };
+    let series = [
+        col(&|s| effective_bidir_bandwidth(&link, s)),
+        col(&|s| ethernet_required_bandwidth(40e9, s)),
+        col(&|s| simple.bidir_bandwidth(s)),
+        col(&|s| kernel.bidir_bandwidth(s)),
+        col(&|s| dpdk.bidir_bandwidth(s)),
+    ];
+    print!(
+        "{}",
+        format_multi_series(
+            "Bandwidth (Gb/s) vs transfer size (B)",
+            "size",
+            &[
+                "EffectivePCIe",
+                "40GEthernet",
+                "SimpleNIC",
+                "KernelNIC",
+                "DPDKNIC"
+            ],
+            &series,
+        )
+    );
+
+    println!("\n# Paper-shape checks:");
+    let cross = simple
+        .line_rate_crossover(40e9)
+        .expect("simple NIC must cross 40G");
+    println!("#  - Simple NIC sustains 40GbE from {cross} B (paper: larger than 512B)");
+    let k = kernel.line_rate_crossover(40e9).unwrap();
+    let d = dpdk.line_rate_crossover(40e9).unwrap();
+    println!("#  - Kernel NIC crossover {k} B, DPDK NIC crossover {d} B (both earlier)");
+    for s in &sizes {
+        let e = effective_bidir_bandwidth(&link, *s);
+        assert!(simple.bidir_bandwidth(*s) < kernel.bidir_bandwidth(*s));
+        assert!(kernel.bidir_bandwidth(*s) < dpdk.bidir_bandwidth(*s));
+        assert!(dpdk.bidir_bandwidth(*s) < e);
+    }
+    println!("#  - Ordering simple < kernel < DPDK < effective holds at every size");
+}

@@ -1,0 +1,57 @@
+//! Figure 2 — Measurement of NIC PCIe latency: loopback round-trip
+//! latency vs transfer size, and the fraction contributed by PCIe.
+//!
+//! Usage: `cargo run --release --bin fig2_loopback_latency`
+
+use pcie_bench_harness::{header, n};
+use pcie_device::{DeviceParams, Platform};
+use pcie_host::presets::HostPreset;
+use pcie_host::HostSystem;
+use pcie_link::LinkTiming;
+use pcie_model::config::LinkConfig;
+use pcie_nic::{LoopbackNic, LoopbackParams};
+
+fn main() {
+    header("Figure 2: NIC loopback latency and PCIe contribution");
+    let host = HostSystem::new(HostPreset::netfpga_hsw(), 4242);
+    let platform = Platform::new(
+        DeviceParams::netfpga(),
+        host,
+        LinkConfig::gen3_x8(),
+        LinkTiming::default(),
+    );
+    let mut nic = LoopbackNic::new(LoopbackParams::default(), platform);
+
+    println!(
+        "# {:>6} {:>12} {:>12} {:>8}",
+        "size", "total(ns)", "pcie(ns)", "pcie%"
+    );
+    let reps = n(31);
+    let mut rows = Vec::new();
+    for size in (0..=1500).step_by(100).map(|s: u32| s.max(16)) {
+        let s = nic.measure_median(size, reps);
+        println!(
+            "{:>8} {:>12.0} {:>12.0} {:>7.1}%",
+            s.size,
+            s.total_ns,
+            s.pcie_ns,
+            s.pcie_fraction() * 100.0
+        );
+        rows.push(s);
+    }
+
+    println!("\n# Paper-shape checks:");
+    let at_128 = nic.measure_median(128, reps);
+    println!(
+        "#  - 128B round trip {:.0}ns, PCIe {:.0}ns (paper: ~1000ns / ~900ns)",
+        at_128.total_ns, at_128.pcie_ns
+    );
+    let first = rows.first().unwrap();
+    let last = rows.last().unwrap();
+    assert!(first.pcie_fraction() > last.pcie_fraction());
+    println!(
+        "#  - PCIe share falls from {:.1}% (small) to {:.1}% (1500B); paper: 90.6% -> 77.2%",
+        first.pcie_fraction() * 100.0,
+        last.pcie_fraction() * 100.0
+    );
+}

@@ -1,0 +1,73 @@
+//! Figure 4 — Baseline PCIe DMA bandwidth (8 KiB warm window):
+//! (a) BW_RD, (b) BW_WR, (c) BW_RDWR, for NFP6000-HSW and NetFPGA-HSW
+//! against the model and the 40 GbE requirement.
+//!
+//! Usage: `cargo run --release --bin fig4_baseline_bw`
+
+use pcie_bench_harness::{baseline_params, baseline_setups, fig4_sizes, header, n};
+use pcie_device::DmaPath;
+use pcie_model::bandwidth as model;
+use pcie_model::config::LinkConfig;
+use pciebench::report::format_multi_series;
+use pciebench::{run_bandwidth, BwOp};
+
+fn main() {
+    let (nfp, netfpga) = baseline_setups();
+    let link = LinkConfig::gen3_x8();
+    let sizes = fig4_sizes();
+    let txns = n(20_000);
+
+    for (op, panel, model_fn) in [
+        (
+            BwOp::Rd,
+            "(a) PCIe Read Bandwidth",
+            model::read_bandwidth as fn(&LinkConfig, u32) -> f64,
+        ),
+        (BwOp::Wr, "(b) PCIe Write Bandwidth", model::write_bandwidth),
+        (
+            BwOp::RdWr,
+            "(c) PCIe Read/Write Bandwidth",
+            model::read_write_bandwidth,
+        ),
+    ] {
+        header(&format!("Figure 4{panel} — {}", op.name()));
+        let mut m_series = Vec::new();
+        let mut eth = Vec::new();
+        let mut nfp_series = Vec::new();
+        let mut fpga_series = Vec::new();
+        for &sz in &sizes {
+            m_series.push((sz, model_fn(&link, sz) / 1e9));
+            eth.push((sz, model::ethernet_required_bandwidth(40e9, sz) / 1e9));
+            let a = run_bandwidth(&nfp, &baseline_params(sz), op, txns, DmaPath::DmaEngine);
+            nfp_series.push((sz, a.gbps));
+            let b = run_bandwidth(&netfpga, &baseline_params(sz), op, txns, DmaPath::DmaEngine);
+            fpga_series.push((sz, b.gbps));
+        }
+        print!(
+            "{}",
+            format_multi_series(
+                &format!("{} (Gb/s) vs transfer size (B)", op.name()),
+                "size",
+                &["ModelBW", "40GEthernet", "NFP6000-HSW", "NetFPGA-HSW"],
+                &[
+                    m_series.clone(),
+                    eth,
+                    nfp_series.clone(),
+                    fpga_series.clone()
+                ],
+            )
+        );
+        // Paper-shape commentary.
+        let rel = |s: &[(u32, f64)], m: &[(u32, f64)]| -> f64 {
+            s.iter().zip(m).map(|(a, b)| a.1 / b.1).sum::<f64>() / s.len() as f64
+        };
+        println!(
+            "# NetFPGA/model mean ratio: {:.3} (paper: closely follows the model)",
+            rel(&fpga_series, &m_series)
+        );
+        println!(
+            "# NFP/model mean ratio:     {:.3} (paper: slightly lower throughput)",
+            rel(&nfp_series, &m_series)
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Figure 6 — Latency distribution (CDF) of 64 B DMA reads with warm
+//! caches: Xeon E5 (NFP6000-HSW) vs Xeon E3 (NFP6000-HSW-E3).
+//!
+//! Usage: `cargo run --release --bin fig6_latency_cdf`
+//! (The paper journals 2M transactions; default here is 200k —
+//! set `PCIE_BENCH_N=10` to match the paper.)
+
+use pcie_bench_harness::{baseline_params, header, n};
+use pcie_device::DmaPath;
+use pciebench::{run_latency, BenchSetup, LatOp};
+
+fn main() {
+    header("Figure 6: 64B DMA read latency CDF, Xeon E5 vs Xeon E3");
+    let txns = n(200_000);
+    let e5 = run_latency(
+        &BenchSetup::nfp6000_hsw(),
+        &baseline_params(64),
+        LatOp::Rd,
+        txns,
+        DmaPath::DmaEngine,
+    );
+    let e3 = run_latency(
+        &BenchSetup::nfp6000_hsw_e3(),
+        &baseline_params(64),
+        LatOp::Rd,
+        txns,
+        DmaPath::DmaEngine,
+    );
+
+    println!(
+        "# {:>12} {:>10} {:>10}",
+        "latency(ns)", "CDF(E5)", "CDF(E3)"
+    );
+    let e5_cdf = e5.cdf(200);
+    let e3_cdf = e3.cdf(200);
+    for q in (1..=100).map(|i| i as f64 / 100.0) {
+        println!(
+            "{:>14.0} {:>10.3} {:>14.0} {:>10.3}",
+            e5_cdf.value_at(q),
+            q,
+            e3_cdf.value_at(q),
+            q
+        );
+    }
+
+    println!("\n# Summary statistics (ns):");
+    println!(
+        "# {:>16} {:>8} {:>8} {:>8} {:>8} {:>9} {:>10}",
+        "system", "min", "median", "p95", "p99", "p99.9", "max"
+    );
+    for (name, r) in [("NFP6000-HSW", &e5), ("NFP6000-HSW-E3", &e3)] {
+        let s = &r.summary;
+        println!(
+            "# {:>16} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>9.0} {:>10.0}",
+            name, s.min, s.median, s.p95, s.p99, s.p999, s.max
+        );
+    }
+
+    // Optional raw export (PCIE_BENCH_OUT=<dir>): journal, CDF,
+    // histogram and time series per system, like the §5.4 control
+    // program's optional outputs.
+    if let Ok(dir) = std::env::var("PCIE_BENCH_OUT") {
+        let dir = std::path::Path::new(&dir);
+        pciebench::export::write_latency_result(dir, "fig6_e5", &e5, 400).expect("export e5");
+        pciebench::export::write_latency_result(dir, "fig6_e3", &e3, 400).expect("export e3");
+        println!("\n# raw data exported to {}", dir.display());
+    }
+
+    println!("\n# Paper-shape checks (paper values in parentheses):");
+    println!(
+        "#  - E5: 99.9% within {:.0}ns of the {:.0}ns min (80ns band; min 520, median 547)",
+        e5.summary.p999 - e5.summary.min,
+        e5.summary.min
+    );
+    println!(
+        "#  - E3: min {:.0} (493), median {:.0} (1213), p99 {:.0} (5707), p99.9 {:.0} (11987), max {:.1}ms (5.8ms)",
+        e3.summary.min,
+        e3.summary.median,
+        e3.summary.p99,
+        e3.summary.p999,
+        e3.summary.max / 1e6
+    );
+    assert!(e3.summary.median > 2.0 * e5.summary.min);
+    assert!(e3.summary.p999 > 5.0 * e3.summary.median);
+}

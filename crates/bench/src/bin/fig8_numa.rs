@@ -1,0 +1,83 @@
+//! Figure 8 — NUMA impact (NFP6000-BDW): percentage change of DMA-read
+//! bandwidth with the buffer on the remote node vs the local node,
+//! warm caches, for 64/128/256/512 B transfers across window sizes.
+//!
+//! Usage: `cargo run --release --bin fig8_numa`
+
+use pcie_bench_harness::{header, n};
+use pcie_device::DmaPath;
+use pcie_host::presets::NumaPlacement;
+use pciebench::{run_bandwidth, BenchParams, BenchSetup, BwOp, CacheState, Pattern};
+
+fn main() {
+    header("Figure 8: local vs remote DMA read bandwidth, warm cache (NFP6000-BDW)");
+    let setup = BenchSetup::nfp6000_bdw();
+    let txns = n(20_000);
+    let sizes = [64u32, 128, 256, 512];
+    let windows: Vec<u64> = (0..15).map(|i| 4096u64 << i).collect();
+
+    println!(
+        "# %change of BW_RD (remote vs local)\n# {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "window", "64B", "128B", "256B", "512B"
+    );
+    let mut first_row = Vec::new();
+    let mut last_row = Vec::new();
+    for &w in &windows {
+        let mut cells = Vec::new();
+        for &sz in &sizes {
+            let p = |placement| BenchParams {
+                window: w,
+                transfer: sz,
+                offset: 0,
+                pattern: Pattern::Random,
+                cache: CacheState::HostWarm,
+                placement,
+            };
+            let local = run_bandwidth(
+                &setup,
+                &p(NumaPlacement::Local),
+                BwOp::Rd,
+                txns,
+                DmaPath::DmaEngine,
+            );
+            let remote = run_bandwidth(
+                &setup,
+                &p(NumaPlacement::Remote),
+                BwOp::Rd,
+                txns,
+                DmaPath::DmaEngine,
+            );
+            cells.push((remote.gbps / local.gbps - 1.0) * 100.0);
+        }
+        println!(
+            "{:>12} {:>9.1}% {:>9.1}% {:>9.1}% {:>9.1}%",
+            w, cells[0], cells[1], cells[2], cells[3]
+        );
+        if w == windows[0] {
+            first_row = cells.clone();
+        }
+        if w == *windows.last().unwrap() {
+            last_row = cells.clone();
+        }
+    }
+
+    println!("\n# Paper-shape checks:");
+    println!(
+        "#  - 64B small-window (cache-served) penalty: {:.1}% (paper: ~-20%)",
+        first_row[0]
+    );
+    println!(
+        "#  - 64B large-window penalty: {:.1}% (paper: ~-10% once not cache-served)",
+        last_row[0]
+    );
+    println!(
+        "#  - 512B penalty: {:.1}% small / {:.1}% large (paper: no noticeable penalty)",
+        first_row[3], last_row[3]
+    );
+    assert!(first_row[0] < -8.0, "64B remote must hurt");
+    assert!(first_row[3] > -5.0, "512B remote should not");
+    assert!(
+        first_row[0] < first_row[1] && first_row[1] <= first_row[2] + 1.0,
+        "penalty shrinks with size"
+    );
+}

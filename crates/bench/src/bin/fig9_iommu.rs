@@ -1,0 +1,83 @@
+//! Figure 9 — IOMMU impact (NFP6000-BDW, 4 KiB pages / `sp_off`):
+//! percentage change of DMA-read bandwidth with the IOMMU enabled,
+//! warm caches, vs window size — plus the super-page mitigation the
+//! paper recommends (§7).
+//!
+//! Usage: `cargo run --release --bin fig9_iommu`
+
+use pcie_bench_harness::{header, n};
+use pcie_device::DmaPath;
+use pcie_host::presets::NumaPlacement;
+use pciebench::{run_bandwidth, BenchParams, BenchSetup, BwOp, CacheState, IommuMode, Pattern};
+
+fn params(window: u64, transfer: u32) -> BenchParams {
+    BenchParams {
+        window,
+        transfer,
+        offset: 0,
+        pattern: Pattern::Random,
+        cache: CacheState::HostWarm,
+        placement: NumaPlacement::Local,
+    }
+}
+
+fn main() {
+    header("Figure 9: IOMMU impact on DMA reads, warm cache (NFP6000-BDW)");
+    let off = BenchSetup::nfp6000_bdw();
+    let on = BenchSetup::nfp6000_bdw().with_iommu(IommuMode::FourK);
+    let txns = n(20_000);
+    let sizes = [64u32, 128, 256, 512];
+    let windows: Vec<u64> = (0..15).map(|i| 4096u64 << i).collect();
+
+    println!(
+        "# %change of BW_RD (IOMMU 4KiB pages vs off)\n# {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "window", "64B", "128B", "256B", "512B"
+    );
+    let mut knee_checked = false;
+    let mut biggest_drop = 0.0f64;
+    for &w in &windows {
+        let mut cells = Vec::new();
+        for &sz in &sizes {
+            let base = run_bandwidth(&off, &params(w, sz), BwOp::Rd, txns, DmaPath::DmaEngine);
+            let io = run_bandwidth(&on, &params(w, sz), BwOp::Rd, txns, DmaPath::DmaEngine);
+            cells.push((io.gbps / base.gbps - 1.0) * 100.0);
+        }
+        println!(
+            "{:>12} {:>9.1}% {:>9.1}% {:>9.1}% {:>9.1}%",
+            w, cells[0], cells[1], cells[2], cells[3]
+        );
+        biggest_drop = biggest_drop.min(cells[0]);
+        // The knee: within the 64-entry x 4KiB = 256KiB IO-TLB reach,
+        // no measurable difference (§6.5).
+        if w <= 256 * 1024 && !knee_checked {
+            assert!(
+                cells.iter().all(|c| *c > -6.0),
+                "no impact inside IO-TLB reach, got {cells:?}"
+            );
+        }
+        if w > 256 * 1024 {
+            knee_checked = true;
+        }
+    }
+
+    println!("\n# Paper-shape checks:");
+    println!(
+        "#  - Largest 64B drop: {biggest_drop:.1}% (paper: ~-70%); knee at 256KiB = 64 entries x 4KiB"
+    );
+    assert!(biggest_drop < -45.0, "large 64B drop expected");
+
+    header("§7 mitigation: the same sweep with 2MiB super-pages");
+    let sp = BenchSetup::nfp6000_bdw().with_iommu(IommuMode::SuperPages);
+    println!("# {:>10} {:>10}", "window", "64B");
+    for &w in &windows {
+        let base = run_bandwidth(&off, &params(w, 64), BwOp::Rd, txns, DmaPath::DmaEngine);
+        let io = run_bandwidth(&sp, &params(w, 64), BwOp::Rd, txns, DmaPath::DmaEngine);
+        let c = (io.gbps / base.gbps - 1.0) * 100.0;
+        println!("{:>12} {:>9.1}%", w, c);
+        assert!(
+            c > -6.0,
+            "super-pages cover 128MiB: no drop expected at {w}B windows"
+        );
+    }
+    println!("#  - Super-pages eliminate the drop across the sweep (IO-TLB reach 128MiB)");
+}

@@ -1,0 +1,299 @@
+//! One-command reproduction report: runs a reduced version of every
+//! headline claim from the paper's evaluation and prints
+//! claim | paper | measured | verdict. Exits non-zero if any claim
+//! fails — the repository's single-source "does the reproduction still
+//! hold" check.
+//!
+//! Usage: `cargo run --release --bin repro_report`
+
+use pcie_bench_harness::{header, n};
+use pcie_device::DmaPath;
+use pcie_host::presets::NumaPlacement;
+use pcie_model::bandwidth as model;
+use pcie_model::config::LinkConfig;
+use pcie_model::nic::{NicModel, NicModelParams};
+use pciebench::report::format_table;
+use pciebench::{
+    run_bandwidth, run_latency, BenchParams, BenchSetup, BwOp, CacheState, IommuMode, LatOp,
+    Pattern,
+};
+
+struct Report {
+    rows: Vec<Vec<String>>,
+    failures: u32,
+}
+
+impl Report {
+    fn add(&mut self, claim: &str, paper: &str, measured: String, pass: bool) {
+        if !pass {
+            self.failures += 1;
+        }
+        self.rows.push(vec![
+            claim.to_string(),
+            paper.to_string(),
+            measured,
+            if pass { "PASS" } else { "FAIL" }.to_string(),
+        ]);
+    }
+}
+
+fn params(window: u64, transfer: u32, cache: CacheState, placement: NumaPlacement) -> BenchParams {
+    BenchParams {
+        window,
+        transfer,
+        offset: 0,
+        pattern: Pattern::Random,
+        cache,
+        placement,
+    }
+}
+
+fn main() {
+    header("Reproduction report — every headline claim, one command");
+    let nb = n(10_000);
+    let nl = n(2_000);
+    let mut r = Report {
+        rows: Vec::new(),
+        failures: 0,
+    };
+    let link = LinkConfig::gen3_x8();
+    let nfp = BenchSetup::nfp6000_hsw();
+    let netfpga = BenchSetup::netfpga_hsw();
+    let bdw = BenchSetup::nfp6000_bdw();
+    let local = NumaPlacement::Local;
+
+    // Fig 1: simple NIC crossover.
+    let simple = NicModel::new(NicModelParams::simple(), link);
+    let cross = simple.line_rate_crossover(40e9).unwrap_or(0);
+    r.add(
+        "F1: Simple NIC needs >512B frames for 40GbE",
+        ">512B",
+        format!("{cross}B"),
+        (513..=768).contains(&cross),
+    );
+
+    // Fig 2 quoted in §2: 128B loopback ~1000ns, PCIe ~900ns.
+    {
+        use pcie_device::{DeviceParams, Platform};
+        use pcie_host::{presets::HostPreset, HostSystem};
+        use pcie_link::LinkTiming;
+        use pcie_nic::{LoopbackNic, LoopbackParams};
+        let host = HostSystem::new(HostPreset::netfpga_hsw(), 4242);
+        let platform = Platform::new(DeviceParams::netfpga(), host, link, LinkTiming::default());
+        let mut nic = LoopbackNic::new(LoopbackParams::default(), platform);
+        let s = nic.measure_median(128, 31);
+        r.add(
+            "F2: 128B loopback total / PCIe share",
+            "~1000ns / ~90%",
+            format!("{:.0}ns / {:.0}%", s.total_ns, s.pcie_fraction() * 100.0),
+            (800.0..1250.0).contains(&s.total_ns) && s.pcie_fraction() > 0.82,
+        );
+    }
+
+    // Fig 4: NetFPGA tracks model; NFP behind at 64B; saw-tooth.
+    let fpga64 = run_bandwidth(
+        &netfpga,
+        &BenchParams::baseline(64),
+        BwOp::Rd,
+        nb,
+        DmaPath::DmaEngine,
+    )
+    .gbps;
+    let m64 = model::read_bandwidth(&link, 64) / 1e9;
+    r.add(
+        "F4a: NetFPGA 64B BW_RD tracks model",
+        format!("~{m64:.1} Gb/s").leak(),
+        format!("{fpga64:.1} Gb/s"),
+        (fpga64 / m64 - 1.0).abs() < 0.10,
+    );
+    let nfp64 = run_bandwidth(
+        &nfp,
+        &BenchParams::baseline(64),
+        BwOp::Rd,
+        nb,
+        DmaPath::DmaEngine,
+    )
+    .gbps;
+    r.add(
+        "F4a: NFP trails at 64B (§6.4: ~32 Gb/s)",
+        "~32 Gb/s",
+        format!("{nfp64:.1} Gb/s"),
+        (25.0..38.0).contains(&nfp64),
+    );
+    let wr256 = run_bandwidth(
+        &netfpga,
+        &BenchParams::baseline(256),
+        BwOp::Wr,
+        nb,
+        DmaPath::DmaEngine,
+    )
+    .gbps;
+    let wr257 = run_bandwidth(
+        &netfpga,
+        &BenchParams::baseline(257),
+        BwOp::Wr,
+        nb,
+        DmaPath::DmaEngine,
+    )
+    .gbps;
+    r.add(
+        "F4b: MPS saw-tooth (257B < 256B)",
+        "dip",
+        format!("{wr256:.1} -> {wr257:.1} Gb/s"),
+        wr257 < wr256,
+    );
+
+    // Fig 5: NFP offset + cmdif parity.
+    let lat_nfp = run_latency(
+        &nfp,
+        &BenchParams::baseline(64),
+        LatOp::Rd,
+        nl,
+        DmaPath::DmaEngine,
+    );
+    let lat_fpga = run_latency(
+        &netfpga,
+        &BenchParams::baseline(64),
+        LatOp::Rd,
+        nl,
+        DmaPath::DmaEngine,
+    );
+    let gap = lat_nfp.summary.median - lat_fpga.summary.median;
+    r.add(
+        "F5: NFP ~100ns over NetFPGA at 64B",
+        "~100ns",
+        format!("{gap:.0}ns"),
+        (60.0..220.0).contains(&gap),
+    );
+    let cmdif = run_latency(
+        &nfp,
+        &BenchParams::baseline(64),
+        LatOp::Rd,
+        nl,
+        DmaPath::CommandIf,
+    );
+    r.add(
+        "F5: command interface matches NetFPGA",
+        "equal",
+        format!(
+            "{:.0} vs {:.0}ns",
+            cmdif.summary.median, lat_fpga.summary.median
+        ),
+        (cmdif.summary.median - lat_fpga.summary.median).abs() < 70.0,
+    );
+
+    // Fig 6: E3 anomaly.
+    let e3 = run_latency(
+        &BenchSetup::nfp6000_hsw_e3(),
+        &BenchParams::baseline(64),
+        LatOp::Rd,
+        n(30_000),
+        DmaPath::DmaEngine,
+    );
+    r.add(
+        "F6: E3 median >2x its min, heavy tail",
+        "1213 vs 493ns; p99 5707ns",
+        format!(
+            "{:.0} vs {:.0}ns; p99 {:.0}ns",
+            e3.summary.median, e3.summary.min, e3.summary.p99
+        ),
+        e3.summary.median > 2.0 * e3.summary.min && e3.summary.p99 > 3.5 * e3.summary.median,
+    );
+
+    // Fig 7: DDIO/LLC knees (SNB).
+    let snb = BenchSetup::nfp6000_snb();
+    let warm_small = run_latency(
+        &snb,
+        &params(64 << 10, 8, CacheState::HostWarm, local),
+        LatOp::Rd,
+        nl,
+        DmaPath::CommandIf,
+    );
+    let warm_big = run_latency(
+        &snb,
+        &params(64 << 20, 8, CacheState::HostWarm, local),
+        LatOp::Rd,
+        nl,
+        DmaPath::CommandIf,
+    );
+    let knee = warm_big.summary.median - warm_small.summary.median;
+    r.add(
+        "F7a: warm reads +~70ns past the LLC",
+        "~70ns",
+        format!("{knee:.0}ns"),
+        (40.0..100.0).contains(&knee),
+    );
+
+    // Fig 8: NUMA.
+    let l64 = run_bandwidth(
+        &bdw,
+        &params(64 << 10, 64, CacheState::HostWarm, local),
+        BwOp::Rd,
+        nb,
+        DmaPath::DmaEngine,
+    )
+    .gbps;
+    let r64 = run_bandwidth(
+        &bdw,
+        &params(64 << 10, 64, CacheState::HostWarm, NumaPlacement::Remote),
+        BwOp::Rd,
+        nb,
+        DmaPath::DmaEngine,
+    )
+    .gbps;
+    r.add(
+        "F8: remote 64B reads ~-20%",
+        "-20%",
+        format!("{:+.0}%", (r64 / l64 - 1.0) * 100.0),
+        r64 < 0.90 * l64,
+    );
+
+    // Fig 9: IOMMU cliff + §6.5 walk cost.
+    let off = run_bandwidth(
+        &bdw,
+        &params(8 << 20, 64, CacheState::HostWarm, local),
+        BwOp::Rd,
+        nb,
+        DmaPath::DmaEngine,
+    )
+    .gbps;
+    let on_setup = BenchSetup::nfp6000_bdw().with_iommu(IommuMode::FourK);
+    let on = run_bandwidth(
+        &on_setup,
+        &params(8 << 20, 64, CacheState::HostWarm, local),
+        BwOp::Rd,
+        nb,
+        DmaPath::DmaEngine,
+    )
+    .gbps;
+    r.add(
+        "F9: 64B reads ~-70% past IO-TLB reach",
+        "~-70%",
+        format!("{:+.0}%", (on / off - 1.0) * 100.0),
+        on < 0.55 * off,
+    );
+    let sp_setup = BenchSetup::nfp6000_bdw().with_iommu(IommuMode::SuperPages);
+    let sp = run_bandwidth(
+        &sp_setup,
+        &params(8 << 20, 64, CacheState::HostWarm, local),
+        BwOp::Rd,
+        nb,
+        DmaPath::DmaEngine,
+    )
+    .gbps;
+    r.add(
+        "T2/§7: super-pages eliminate the drop",
+        "no drop",
+        format!("{:+.0}%", (sp / off - 1.0) * 100.0),
+        sp > 0.93 * off,
+    );
+
+    print!(
+        "{}",
+        format_table(&["claim", "paper", "measured", "verdict"], &r.rows)
+    );
+    println!("\n{} claims checked, {} failed", r.rows.len(), r.failures);
+    if r.failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,44 @@
+//! The §5.4 control program: run a full pcie-bench parameter grid on
+//! one system and print every result.
+//!
+//! Usage:
+//!   cargo run --release --bin suite              # quick grid
+//!   PCIE_BENCH_SUITE=paper cargo run --release --bin suite
+//!   PCIE_BENCH_SYSTEM=netfpga-hsw cargo run --release --bin suite
+
+use pcie_bench_harness::header;
+use pciebench::suite::{format_suite, run_suite, SuiteConfig};
+use pciebench::BenchSetup;
+
+fn main() {
+    let system = std::env::var("PCIE_BENCH_SYSTEM").unwrap_or_else(|_| "nfp6000-hsw".into());
+    let setup = match system.as_str() {
+        "nfp6000-hsw" => BenchSetup::nfp6000_hsw(),
+        "netfpga-hsw" => BenchSetup::netfpga_hsw(),
+        "nfp6000-hsw-e3" => BenchSetup::nfp6000_hsw_e3(),
+        "nfp6000-bdw" => BenchSetup::nfp6000_bdw(),
+        "nfp6000-snb" => BenchSetup::nfp6000_snb(),
+        "nfp6000-ib" => BenchSetup::nfp6000_ib(),
+        other => {
+            eprintln!("unknown system {other}; see source for the list");
+            std::process::exit(2);
+        }
+    };
+    let cfg = match std::env::var("PCIE_BENCH_SUITE").as_deref() {
+        Ok("paper") => SuiteConfig::paper(),
+        _ => SuiteConfig::quick(),
+    };
+    header(&format!(
+        "pcie-bench full suite on {} — {} individual tests",
+        setup.preset.name,
+        cfg.test_count()
+    ));
+    let t0 = std::time::Instant::now();
+    let entries = run_suite(&setup, &cfg);
+    print!("{}", format_suite(&entries));
+    println!(
+        "\n# {} tests in {:.1}s (the paper's hardware run: ~2500 tests in ~4 hours)",
+        entries.len(),
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,53 @@
+//! Table 1 — System configurations used in the evaluation.
+//!
+//! Usage: `cargo run --release --bin table1_systems`
+
+use pcie_bench_harness::header;
+use pcie_host::presets::HostPreset;
+use pciebench::report::format_table;
+
+fn main() {
+    header("Table 1: system configurations");
+    let rows: Vec<Vec<String>> = HostPreset::all()
+        .into_iter()
+        .map(|p| {
+            vec![
+                p.name.to_string(),
+                p.cpu.to_string(),
+                if p.numa_nodes > 1 {
+                    format!("{}-way", p.numa_nodes)
+                } else {
+                    "no".to_string()
+                },
+                p.architecture.to_string(),
+                format!("{}GB", p.memory_gb),
+                p.os.to_string(),
+                p.adapter.to_string(),
+                format!("{}MB", p.llc_bytes >> 20),
+                if p.has_ddio() {
+                    format!("{} ways", p.ddio_ways)
+                } else {
+                    "none".to_string()
+                },
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        format_table(
+            &[
+                "Name",
+                "CPU",
+                "NUMA",
+                "Architecture",
+                "Memory",
+                "OS/Kernel",
+                "Adapter",
+                "LLC",
+                "DDIO"
+            ],
+            &rows
+        )
+    );
+    println!("\n# All systems have 15MB of LLC, except NFP6000-BDW, which has a 25MB LLC.");
+}

@@ -1,0 +1,142 @@
+//! Table 2 — Notable findings, re-derived experimentally.
+//!
+//! Each row of the paper's Table 2 is reproduced as a measurement pair
+//! plus the recommendation it supports; the binary *asserts* each
+//! finding still holds in the simulated substrate.
+//!
+//! Usage: `cargo run --release --bin table2_findings`
+
+use pcie_bench_harness::{header, n};
+use pcie_device::DmaPath;
+use pcie_host::presets::NumaPlacement;
+use pciebench::{
+    run_bandwidth, run_latency, BenchParams, BenchSetup, BwOp, CacheState, IommuMode, LatOp,
+    Pattern,
+};
+
+fn params(window: u64, transfer: u32, cache: CacheState, placement: NumaPlacement) -> BenchParams {
+    BenchParams {
+        window,
+        transfer,
+        offset: 0,
+        pattern: Pattern::Random,
+        cache,
+        placement,
+    }
+}
+
+fn main() {
+    header("Table 2: notable findings, re-derived");
+    let bw_txns = n(20_000);
+    let lat_txns = n(2_000);
+
+    // --- IOMMU (§6.5) ---
+    let off = BenchSetup::nfp6000_bdw();
+    let on = BenchSetup::nfp6000_bdw().with_iommu(IommuMode::FourK);
+    let sp = BenchSetup::nfp6000_bdw().with_iommu(IommuMode::SuperPages);
+    let small_ws = params(128 << 10, 64, CacheState::HostWarm, NumaPlacement::Local);
+    let big_ws = params(16 << 20, 64, CacheState::HostWarm, NumaPlacement::Local);
+    let b_off = run_bandwidth(&off, &big_ws, BwOp::Rd, bw_txns, DmaPath::DmaEngine).gbps;
+    let b_on = run_bandwidth(&on, &big_ws, BwOp::Rd, bw_txns, DmaPath::DmaEngine).gbps;
+    let b_sp = run_bandwidth(&sp, &big_ws, BwOp::Rd, bw_txns, DmaPath::DmaEngine).gbps;
+    let s_on = run_bandwidth(&on, &small_ws, BwOp::Rd, bw_txns, DmaPath::DmaEngine).gbps;
+    let s_off = run_bandwidth(&off, &small_ws, BwOp::Rd, bw_txns, DmaPath::DmaEngine).gbps;
+    println!("\nIOMMU (§6.5): significant throughput drops as working-set size increases.");
+    println!(
+        "  64B BW_RD, 128KiB window: {s_off:.1} -> {s_on:.1} Gb/s with IOMMU (inside IO-TLB reach)"
+    );
+    println!(
+        "  64B BW_RD,  16MiB window: {b_off:.1} -> {b_on:.1} Gb/s with IOMMU ({:+.0}%)",
+        (b_on / b_off - 1.0) * 100.0
+    );
+    println!("  => Recommendation: co-locate I/O buffers into super-pages");
+    println!("     (2MiB pages recover {b_sp:.1} Gb/s at the same window)");
+    assert!(b_on < 0.6 * b_off, "IOMMU finding must hold");
+    assert!(s_on > 0.9 * s_off && b_sp > 0.9 * b_off);
+
+    // --- DDIO (§6.3) ---
+    let snb = BenchSetup::nfp6000_snb();
+    let warm = run_latency(
+        &snb,
+        &params(8 << 10, 64, CacheState::HostWarm, NumaPlacement::Local),
+        LatOp::Rd,
+        lat_txns,
+        DmaPath::CommandIf,
+    );
+    let cold = run_latency(
+        &snb,
+        &params(8 << 10, 64, CacheState::Cold, NumaPlacement::Local),
+        LatOp::Rd,
+        lat_txns,
+        DmaPath::CommandIf,
+    );
+    let delta = cold.summary.median - warm.summary.median;
+    println!("\nDDIO (§6.3): small transactions are faster when the data is cache-resident.");
+    println!(
+        "  64B LAT_RD median: {:.0}ns resident vs {:.0}ns from DRAM ({delta:.0}ns; paper: ~70ns)",
+        warm.summary.median, cold.summary.median
+    );
+    println!("  => Recommendation: DDIO benefits descriptor-ring access and small-packet receive");
+    assert!((40.0..100.0).contains(&delta), "DDIO finding must hold");
+
+    // --- NUMA, small transactions (§6.4) ---
+    let bdw = BenchSetup::nfp6000_bdw();
+    let small_local = run_bandwidth(
+        &bdw,
+        &params(64 << 10, 64, CacheState::HostWarm, NumaPlacement::Local),
+        BwOp::Rd,
+        bw_txns,
+        DmaPath::DmaEngine,
+    )
+    .gbps;
+    let small_remote = run_bandwidth(
+        &bdw,
+        &params(64 << 10, 64, CacheState::HostWarm, NumaPlacement::Remote),
+        BwOp::Rd,
+        bw_txns,
+        DmaPath::DmaEngine,
+    )
+    .gbps;
+    println!(
+        "\nNUMA, small transactions (§6.4): remote DMA reads cost more than local-cache reads."
+    );
+    println!(
+        "  64B BW_RD: {small_local:.1} Gb/s local vs {small_remote:.1} Gb/s remote ({:+.0}%)",
+        (small_remote / small_local - 1.0) * 100.0
+    );
+    println!("  => Recommendation: place descriptor rings on the device's local node");
+    assert!(
+        small_remote < 0.92 * small_local,
+        "NUMA small finding must hold"
+    );
+
+    // --- NUMA, large transactions (§6.4) ---
+    let large_local = run_bandwidth(
+        &bdw,
+        &params(64 << 10, 512, CacheState::HostWarm, NumaPlacement::Local),
+        BwOp::Rd,
+        bw_txns,
+        DmaPath::DmaEngine,
+    )
+    .gbps;
+    let large_remote = run_bandwidth(
+        &bdw,
+        &params(64 << 10, 512, CacheState::HostWarm, NumaPlacement::Remote),
+        BwOp::Rd,
+        bw_txns,
+        DmaPath::DmaEngine,
+    )
+    .gbps;
+    println!("\nNUMA, large transactions (§6.4): no significant remote/local difference.");
+    println!(
+        "  512B BW_RD: {large_local:.1} Gb/s local vs {large_remote:.1} Gb/s remote ({:+.1}%)",
+        (large_remote / large_local - 1.0) * 100.0
+    );
+    println!("  => Recommendation: place packet buffers on the node where processing happens");
+    assert!(
+        large_remote > 0.95 * large_local,
+        "NUMA large finding must hold"
+    );
+
+    println!("\nAll four Table 2 findings reproduced.");
+}

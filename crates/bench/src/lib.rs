@@ -1,0 +1,86 @@
+//! # pcie-bench-harness — figure/table regeneration and micro-benches
+//!
+//! One binary per artefact of the paper's evaluation:
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `fig1_nic_models` | Figure 1 — modelled bidirectional bandwidth of effective PCIe, Simple NIC, kernel NIC, DPDK NIC |
+//! | `fig2_loopback_latency` | Figure 2 — NIC loopback latency and the PCIe share of it |
+//! | `fig4_baseline_bw` | Figure 4(a/b/c) — BW_RD / BW_WR / BW_RDWR vs transfer size, NFP vs NetFPGA vs model |
+//! | `fig5_latency_size` | Figure 5 — median DMA latency vs transfer size with min/p95 bars |
+//! | `fig6_latency_cdf` | Figure 6 — 64 B read-latency CDFs, Xeon E5 vs Xeon E3 |
+//! | `fig7_cache_ddio` | Figure 7(a/b) — cache/DDIO effects vs window size |
+//! | `fig8_numa` | Figure 8 — local vs remote bandwidth change |
+//! | `fig9_iommu` | Figure 9 — IOMMU bandwidth change vs window size |
+//! | `table1_systems` | Table 1 — system configurations |
+//! | `table2_findings` | Table 2 — the paper's findings, re-derived and checked |
+//! | `suite` | the §5.4 full-suite control program |
+//!
+//! Each binary prints gnuplot-ready columns plus a short commentary of
+//! the paper-shape checks it performs. `PCIE_BENCH_N` scales the
+//! transaction counts (default chosen for seconds-long runs).
+//!
+//! The criterion benches (`benches/substrate.rs`, `benches/figures.rs`)
+//! measure the *simulator's* own performance — they keep the figure
+//! regeneration honest about its cost and catch regressions in the hot
+//! paths (TLP emit/parse, cache lookups, event queue, closed-loop DMA).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pciebench::{BenchParams, BenchSetup};
+
+/// Transaction-count scale factor from the `PCIE_BENCH_N` environment
+/// variable (default 1.0). Figures use `(base as f64 * scale) as usize`.
+pub fn scale() -> f64 {
+    std::env::var("PCIE_BENCH_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Scaled transaction count.
+pub fn n(base: usize) -> usize {
+    ((base as f64 * scale()) as usize).max(16)
+}
+
+/// The standard transfer-size grid of Figure 4 (64 B – 2048 B with ±1 B
+/// probes).
+pub fn fig4_sizes() -> Vec<u32> {
+    pcie_model::bandwidth::figure4_sizes()
+}
+
+/// Builds the two §6.1 baseline setups: (NFP6000-HSW, NetFPGA-HSW).
+pub fn baseline_setups() -> (BenchSetup, BenchSetup) {
+    (BenchSetup::nfp6000_hsw(), BenchSetup::netfpga_hsw())
+}
+
+/// The baseline 8 KiB-window warm-cache geometry of §6.1.
+pub fn baseline_params(transfer: u32) -> BenchParams {
+    BenchParams::baseline(transfer)
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_counts_bounded_below() {
+        assert!(n(0) >= 16);
+        assert_eq!(n(1000), 1000);
+    }
+
+    #[test]
+    fn size_grid_sane() {
+        let s = fig4_sizes();
+        assert_eq!(*s.first().unwrap(), 64);
+        assert_eq!(*s.last().unwrap(), 2048);
+    }
+}

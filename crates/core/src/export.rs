@@ -1,0 +1,184 @@
+//! Result export (§5.4): the paper's control programs write raw
+//! per-transaction journals and derived CDFs/histograms/time-series to
+//! files for gnuplot. This module does the same for simulator results.
+
+use crate::lat::LatencyResult;
+use crate::stats::{Cdf, LogHistogram};
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes an `(x, y)` series as two whitespace-separated columns.
+pub fn write_series<X: std::fmt::Display, Y: std::fmt::Display>(
+    path: &Path,
+    header: &str,
+    series: &[(X, Y)],
+) -> io::Result<()> {
+    let mut f = create(path)?;
+    writeln!(f, "# {header}")?;
+    for (x, y) in series {
+        writeln!(f, "{x} {y}")?;
+    }
+    Ok(())
+}
+
+/// Writes a CDF as `value probability` rows.
+pub fn write_cdf(path: &Path, header: &str, cdf: &Cdf) -> io::Result<()> {
+    let mut f = create(path)?;
+    writeln!(f, "# {header}")?;
+    writeln!(f, "# value cumulative_probability")?;
+    for (v, p) in cdf.points() {
+        writeln!(f, "{v} {p}")?;
+    }
+    Ok(())
+}
+
+/// Writes a log2 histogram as `bucket_lower_bound count` rows.
+pub fn write_histogram(path: &Path, header: &str, hist: &LogHistogram) -> io::Result<()> {
+    let mut f = create(path)?;
+    writeln!(f, "# {header}")?;
+    writeln!(f, "# bucket_lower_bound count")?;
+    for (lo, count) in hist.nonzero() {
+        writeln!(f, "{lo} {count}")?;
+    }
+    Ok(())
+}
+
+/// Writes a latency result in full: raw journal, CDF, histogram and a
+/// down-sampled time series — everything §5.4's control program emits.
+/// Files are `<stem>.journal`, `<stem>.cdf`, `<stem>.hist`,
+/// `<stem>.timeseries`.
+pub fn write_latency_result(
+    dir: &Path,
+    stem: &str,
+    result: &LatencyResult,
+    max_points: usize,
+) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let title = format!(
+        "{} transfer={}B window={}B",
+        result.op.name(),
+        result.params.transfer,
+        result.params.window
+    );
+    // Raw journal.
+    {
+        let mut f = create(&dir.join(format!("{stem}.journal")))?;
+        writeln!(f, "# {title}\n# latency_ns per transaction, in issue order")?;
+        for s in &result.samples_ns {
+            writeln!(f, "{s}")?;
+        }
+    }
+    write_cdf(
+        &dir.join(format!("{stem}.cdf")),
+        &title,
+        &result.cdf(max_points),
+    )?;
+    let mut hist = LogHistogram::new();
+    for &s in &result.samples_ns {
+        hist.add(s);
+    }
+    write_histogram(&dir.join(format!("{stem}.hist")), &title, &hist)?;
+    let ts = time_series(&result.samples_ns, max_points);
+    write_series(
+        &dir.join(format!("{stem}.timeseries")),
+        &format!("{title} — transaction index vs latency_ns"),
+        &ts,
+    )?;
+    Ok(())
+}
+
+/// Down-samples a journal into at most `max_points` `(index, value)`
+/// points, preserving local maxima (so latency spikes stay visible).
+pub fn time_series(samples: &[f64], max_points: usize) -> Vec<(usize, f64)> {
+    assert!(max_points >= 1);
+    if samples.len() <= max_points {
+        return samples.iter().copied().enumerate().collect();
+    }
+    let chunk = samples.len().div_ceil(max_points);
+    samples
+        .chunks(chunk)
+        .enumerate()
+        .map(|(i, c)| {
+            let max = c.iter().copied().fold(f64::MIN, f64::max);
+            (i * chunk, max)
+        })
+        .collect()
+}
+
+fn create(path: &Path) -> io::Result<fs::File> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    fs::File::create(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::BenchParams;
+    use crate::setup::BenchSetup;
+    use crate::{run_latency, LatOp};
+    use pcie_device::DmaPath;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("pciebench-export-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn time_series_preserves_spikes() {
+        let mut v = vec![1.0; 1000];
+        v[503] = 99.0;
+        let ts = time_series(&v, 50);
+        assert!(ts.len() <= 50);
+        assert!(ts.iter().any(|&(_, y)| y == 99.0), "spike must survive");
+        // Short inputs pass through unchanged.
+        let short = time_series(&[1.0, 2.0], 50);
+        assert_eq!(short, vec![(0, 1.0), (1, 2.0)]);
+    }
+
+    #[test]
+    fn full_latency_export_round_trip() {
+        let dir = tmpdir("full");
+        let setup = BenchSetup::netfpga_hsw();
+        let r = run_latency(
+            &setup,
+            &BenchParams::baseline(64),
+            LatOp::Rd,
+            300,
+            DmaPath::DmaEngine,
+        );
+        write_latency_result(&dir, "lat_rd_64", &r, 64).unwrap();
+        for ext in ["journal", "cdf", "hist", "timeseries"] {
+            let p = dir.join(format!("lat_rd_64.{ext}"));
+            let body = fs::read_to_string(&p).unwrap_or_else(|_| panic!("missing {p:?}"));
+            assert!(body.starts_with("# LAT_RD"), "{ext} header");
+            assert!(body.lines().count() > 2, "{ext} has data");
+        }
+        // journal has one row per transaction (plus 2 header lines)
+        let journal = fs::read_to_string(dir.join("lat_rd_64.journal")).unwrap();
+        assert_eq!(journal.lines().filter(|l| !l.starts_with('#')).count(), 300);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn series_and_histogram_files() {
+        let dir = tmpdir("series");
+        fs::create_dir_all(&dir).unwrap();
+        write_series(&dir.join("s.dat"), "test", &[(64u32, 44.1f64), (128, 50.0)]).unwrap();
+        let body = fs::read_to_string(dir.join("s.dat")).unwrap();
+        assert!(body.contains("64 44.1"));
+        let mut h = LogHistogram::new();
+        h.add(3.0);
+        h.add(700.0);
+        write_histogram(&dir.join("h.dat"), "hist", &h).unwrap();
+        let body = fs::read_to_string(dir.join("h.dat")).unwrap();
+        assert!(body.contains("512 1"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,169 @@
+//! Latency micro-benchmarks (§4.1): `LAT_RD` and `LAT_WRRD`.
+//!
+//! One transaction at a time: the issuing thread computes the next
+//! address, timestamps, issues the DMA, waits for completion,
+//! timestamps again and journals the difference — exactly the firmware
+//! loop of §5.1. Timestamps are quantised to the device's counter
+//! resolution (19.2 ns on the NFP, 4 ns on the NetFPGA).
+
+use crate::access::AccessSequence;
+use crate::params::BenchParams;
+use crate::setup::BenchSetup;
+use crate::stats::{Cdf, Summary};
+use pcie_device::DmaPath;
+use pcie_sim::SimTime;
+
+/// Which latency benchmark to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatOp {
+    /// `LAT_RD`: DMA read latency.
+    Rd,
+    /// `LAT_WRRD`: DMA write followed by DMA read of the same address
+    /// (the only way to observe posted-write cost, §4.1).
+    WrRd,
+}
+
+impl LatOp {
+    /// The benchmark's paper name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LatOp::Rd => "LAT_RD",
+            LatOp::WrRd => "LAT_WRRD",
+        }
+    }
+}
+
+/// Result of a latency run.
+#[derive(Debug, Clone)]
+pub struct LatencyResult {
+    /// The benchmark run.
+    pub op: LatOp,
+    /// Geometry used.
+    pub params: BenchParams,
+    /// Per-transaction latencies in ns (timestamp-quantised).
+    pub samples_ns: Vec<f64>,
+    /// Summary statistics.
+    pub summary: Summary,
+}
+
+impl LatencyResult {
+    /// CDF of the samples (Figure 6).
+    pub fn cdf(&self, max_points: usize) -> Cdf {
+        Cdf::from_samples(&self.samples_ns, max_points)
+    }
+}
+
+/// Time the benchmark thread spends journalling a result and fetching
+/// the next address between transactions.
+const JOURNAL_GAP: SimTime = SimTime::from_ns(60);
+
+/// Runs a latency benchmark of `n` transactions.
+pub fn run_latency(
+    setup: &BenchSetup,
+    params: &BenchParams,
+    op: LatOp,
+    n: usize,
+    path: DmaPath,
+) -> LatencyResult {
+    assert!(n > 0);
+    let (mut platform, buf) = setup.build(params);
+    let mut seq = AccessSequence::new(params, setup.seed ^ 0xACCE55);
+    let mut samples = Vec::with_capacity(n);
+    let mut now = SimTime::ZERO;
+    for _ in 0..n {
+        let off = seq.next_offset();
+        let r = match op {
+            LatOp::Rd => platform.dma_read(now, &buf, off, params.transfer, path),
+            LatOp::WrRd => platform.dma_write_read(now, &buf, off, params.transfer, path),
+        };
+        samples.push(platform.quantize(r.latency()).as_ns_f64());
+        now = r.done + JOURNAL_GAP;
+    }
+    let summary = Summary::from_samples(&samples);
+    LatencyResult {
+        op,
+        params: *params,
+        samples_ns: samples,
+        summary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CacheState;
+
+    fn quick(setup: &BenchSetup, params: &BenchParams, op: LatOp) -> LatencyResult {
+        run_latency(setup, params, op, 400, DmaPath::DmaEngine)
+    }
+
+    #[test]
+    fn lat_rd_baseline_band() {
+        let setup = BenchSetup::netfpga_hsw();
+        let r = quick(&setup, &BenchParams::baseline(64), LatOp::Rd);
+        assert_eq!(r.samples_ns.len(), 400);
+        // Warm 64B reads: paper band ~400-550ns end to end.
+        assert!(
+            r.summary.median > 380.0 && r.summary.median < 580.0,
+            "median {}",
+            r.summary.median
+        );
+        assert!(r.summary.min <= r.summary.median);
+        assert!(r.summary.p99 >= r.summary.median);
+    }
+
+    #[test]
+    fn samples_are_quantised() {
+        let setup = BenchSetup::nfp6000_hsw();
+        let r = quick(&setup, &BenchParams::baseline(64), LatOp::Rd);
+        for s in &r.samples_ns {
+            let ps = (s * 1000.0).round() as u64;
+            assert_eq!(ps % 19_200, 0, "sample {s} not on the 19.2ns grid");
+        }
+    }
+
+    #[test]
+    fn wrrd_exceeds_rd() {
+        let setup = BenchSetup::netfpga_hsw();
+        let rd = quick(&setup, &BenchParams::baseline(64), LatOp::Rd);
+        let wrrd = quick(&setup, &BenchParams::baseline(64), LatOp::WrRd);
+        assert!(wrrd.summary.median > rd.summary.median);
+    }
+
+    #[test]
+    fn cold_slower_than_warm() {
+        let setup = BenchSetup::netfpga_hsw();
+        let warm = quick(&setup, &BenchParams::baseline(64), LatOp::Rd);
+        let cold_params = BenchParams {
+            cache: CacheState::Cold,
+            ..BenchParams::baseline(64)
+        };
+        let cold = quick(&setup, &cold_params, LatOp::Rd);
+        let delta = cold.summary.median - warm.summary.median;
+        // ~70ns DRAM penalty, quantised to the 4ns NetFPGA clock.
+        assert!((50.0..95.0).contains(&delta), "delta {delta}");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let setup = BenchSetup::nfp6000_hsw();
+        let a = quick(&setup, &BenchParams::baseline(64), LatOp::Rd);
+        let b = quick(&setup, &BenchParams::baseline(64), LatOp::Rd);
+        assert_eq!(a.samples_ns, b.samples_ns, "same seed, same run");
+        let c = quick(
+            &setup.clone().with_seed(1234),
+            &BenchParams::baseline(64),
+            LatOp::Rd,
+        );
+        assert_ne!(a.samples_ns, c.samples_ns);
+    }
+
+    #[test]
+    fn cdf_reflects_samples() {
+        let setup = BenchSetup::nfp6000_hsw();
+        let r = quick(&setup, &BenchParams::baseline(64), LatOp::Rd);
+        let cdf = r.cdf(64);
+        assert!(cdf.value_at(0.5) >= r.summary.min);
+        assert!(cdf.value_at(1.0) == r.summary.max);
+    }
+}

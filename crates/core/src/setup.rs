@@ -1,0 +1,197 @@
+//! Benchmark setups: host + device + link + IOMMU mode.
+
+use crate::params::{BenchParams, CacheState};
+use pcie_device::{DeviceParams, Platform};
+use pcie_host::buffer::BufferAllocator;
+use pcie_host::presets::{HostPreset, NumaPlacement};
+use pcie_host::{HostBuffer, HostSystem, Iommu};
+use pcie_link::LinkTiming;
+use pcie_model::config::LinkConfig;
+
+/// IOMMU configuration for a benchmark run (§6.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IommuMode {
+    /// Translation off (the default on the paper's systems).
+    Off,
+    /// Enabled with 4 KiB pages (`intel_iommu=on sp_off`).
+    FourK,
+    /// Enabled with 2 MiB super-pages (the recommended mitigation).
+    SuperPages,
+}
+
+/// Everything needed to instantiate a platform for one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchSetup {
+    /// Host system preset (Table 1).
+    pub preset: HostPreset,
+    /// Device implementation (NFP / NetFPGA).
+    pub device: DeviceParams,
+    /// PCIe link configuration.
+    pub link: LinkConfig,
+    /// Link timing/DLLP policy.
+    pub timing: LinkTiming,
+    /// IOMMU mode.
+    pub iommu: IommuMode,
+    /// Master RNG seed (runs are bit-reproducible per seed).
+    pub seed: u64,
+}
+
+impl BenchSetup {
+    /// The NFP6000-HSW system (§6.1's primary subject).
+    pub fn nfp6000_hsw() -> Self {
+        BenchSetup {
+            preset: HostPreset::nfp6000_hsw(),
+            device: DeviceParams::nfp6000(),
+            link: LinkConfig::gen3_x8(),
+            timing: LinkTiming::default(),
+            iommu: IommuMode::Off,
+            seed: 0x9e3779b9,
+        }
+    }
+
+    /// The NetFPGA-HSW system.
+    pub fn netfpga_hsw() -> Self {
+        BenchSetup {
+            preset: HostPreset::netfpga_hsw(),
+            device: DeviceParams::netfpga(),
+            ..Self::nfp6000_hsw()
+        }
+    }
+
+    /// NFP on the Xeon E3 (the Figure 6 anomaly).
+    pub fn nfp6000_hsw_e3() -> Self {
+        BenchSetup {
+            preset: HostPreset::nfp6000_hsw_e3(),
+            ..Self::nfp6000_hsw()
+        }
+    }
+
+    /// NFP on the 2-way Broadwell (the NUMA/IOMMU system of §6.4–6.5).
+    pub fn nfp6000_bdw() -> Self {
+        BenchSetup {
+            preset: HostPreset::nfp6000_bdw(),
+            ..Self::nfp6000_hsw()
+        }
+    }
+
+    /// NFP on Sandy Bridge (the Figure 7 system).
+    pub fn nfp6000_snb() -> Self {
+        BenchSetup {
+            preset: HostPreset::nfp6000_snb(),
+            ..Self::nfp6000_hsw()
+        }
+    }
+
+    /// NFP on Ivy Bridge.
+    pub fn nfp6000_ib() -> Self {
+        BenchSetup {
+            preset: HostPreset::nfp6000_ib(),
+            ..Self::nfp6000_hsw()
+        }
+    }
+
+    /// With a different IOMMU mode.
+    pub fn with_iommu(mut self, mode: IommuMode) -> Self {
+        self.iommu = mode;
+        self
+    }
+
+    /// With a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Instantiates the platform and host buffer for `params`,
+    /// applying NUMA placement, IOMMU mode and cache warming.
+    pub fn build(&self, params: &BenchParams) -> (Platform, HostBuffer) {
+        params.validate().expect("invalid bench params");
+        let node = match params.placement {
+            NumaPlacement::Local => 0,
+            NumaPlacement::Remote => {
+                assert!(
+                    self.preset.numa_nodes >= 2,
+                    "{} is not a NUMA system",
+                    self.preset.name
+                );
+                1
+            }
+        };
+        let mut alloc = BufferAllocator::default_layout();
+        let buf = alloc.alloc(params.window.max(4096), node);
+        let mut host = HostSystem::new(self.preset.clone(), self.seed);
+        host.set_iommu(match self.iommu {
+            IommuMode::Off => None,
+            IommuMode::FourK => Some(Iommu::intel_4k()),
+            IommuMode::SuperPages => Some(Iommu::intel_superpages()),
+        });
+        let mut platform = Platform::new(self.device, host, self.link, self.timing);
+        match params.cache {
+            // A freshly built cache is cold; thrashing is a no-op here
+            // but kept for semantic clarity.
+            CacheState::Cold => platform.host.thrash_caches(),
+            CacheState::HostWarm => platform.host.host_warm(&buf, 0, params.window),
+            CacheState::DeviceWarm => platform.device_warm(&buf, 0, params.window, self.link.mps),
+        }
+        (platform, buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Pattern;
+
+    #[test]
+    fn build_baseline() {
+        let setup = BenchSetup::netfpga_hsw();
+        let (platform, buf) = setup.build(&BenchParams::baseline(64));
+        assert_eq!(buf.node(), 0);
+        assert_eq!(buf.len(), 8 * 1024);
+        assert_eq!(platform.device().name, "NetFPGA");
+    }
+
+    #[test]
+    fn remote_placement_needs_numa() {
+        let setup = BenchSetup::nfp6000_bdw();
+        let p = BenchParams {
+            placement: NumaPlacement::Remote,
+            ..BenchParams::baseline(64)
+        };
+        let (_, buf) = setup.build(&p);
+        assert_eq!(buf.node(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a NUMA system")]
+    fn remote_on_single_socket_panics() {
+        let setup = BenchSetup::netfpga_hsw();
+        let p = BenchParams {
+            placement: NumaPlacement::Remote,
+            ..BenchParams::baseline(64)
+        };
+        setup.build(&p);
+    }
+
+    #[test]
+    fn device_warm_fills_ddio() {
+        let setup = BenchSetup::netfpga_hsw();
+        let p = BenchParams {
+            cache: CacheState::DeviceWarm,
+            pattern: Pattern::Sequential,
+            ..BenchParams::baseline(64)
+        };
+        let (platform, _) = setup.build(&p);
+        assert!(platform.host.cache_stats(0).write_allocs > 0);
+    }
+
+    #[test]
+    fn iommu_modes_attach() {
+        let setup = BenchSetup::nfp6000_bdw().with_iommu(IommuMode::FourK);
+        let (platform, _) = setup.build(&BenchParams::baseline(64));
+        assert_eq!(platform.host.iommu().unwrap().page_size, 4096);
+        let setup = setup.with_iommu(IommuMode::SuperPages);
+        let (platform, _) = setup.build(&BenchParams::baseline(64));
+        assert_eq!(platform.host.iommu().unwrap().page_size, 2 << 20);
+    }
+}

@@ -1,0 +1,233 @@
+//! Result statistics: summaries, CDFs, histograms (§5.4).
+
+/// Summary statistics over latency samples, mirroring what the paper's
+/// control programs report: average, median, min, max, 95th and 99th
+/// percentiles (we add p99.9 for the Figure 6 tails).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub avg: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (p50).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes a summary. Sorts a copy of the data.
+    ///
+    /// # Panics
+    /// If `samples` is empty or contains NaN.
+    pub fn from_samples(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "no samples");
+        let mut v = samples.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let count = v.len();
+        let avg = v.iter().sum::<f64>() / count as f64;
+        Summary {
+            count,
+            avg,
+            min: v[0],
+            median: rank(&v, 0.50),
+            p95: rank(&v, 0.95),
+            p99: rank(&v, 0.99),
+            p999: rank(&v, 0.999),
+            max: v[count - 1],
+        }
+    }
+}
+
+/// Nearest-rank percentile on sorted data.
+fn rank(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[idx.clamp(1, sorted.len()) - 1]
+}
+
+/// An empirical CDF: sorted `(value, cumulative probability)` points,
+/// as plotted in Figure 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    points: Vec<(f64, f64)>,
+}
+
+impl Cdf {
+    /// Builds a CDF, downsampled to at most `max_points` points.
+    pub fn from_samples(samples: &[f64], max_points: usize) -> Cdf {
+        assert!(!samples.is_empty() && max_points >= 2);
+        let mut v = samples.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let n = v.len();
+        let step = (n / max_points).max(1);
+        let mut points: Vec<(f64, f64)> = v
+            .iter()
+            .enumerate()
+            .step_by(step)
+            .map(|(i, &x)| (x, (i + 1) as f64 / n as f64))
+            .collect();
+        let last = (v[n - 1], 1.0);
+        if points.last() != Some(&last) {
+            points.push(last);
+        }
+        Cdf { points }
+    }
+
+    /// The CDF points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// P(X ≤ x), by linear scan.
+    pub fn prob_at(&self, x: f64) -> f64 {
+        let mut p = 0.0;
+        for &(v, q) in &self.points {
+            if v <= x {
+                p = q;
+            } else {
+                break;
+            }
+        }
+        p
+    }
+
+    /// Smallest recorded value with cumulative probability ≥ `q`.
+    pub fn value_at(&self, q: f64) -> f64 {
+        for &(v, p) in &self.points {
+            if p >= q {
+                return v;
+            }
+        }
+        self.points.last().unwrap().0
+    }
+}
+
+/// A log2-bucketed histogram (for latency spreads spanning ns to ms).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogHistogram {
+    /// `buckets[i]` counts samples in `[2^i, 2^(i+1))`.
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a (non-negative) sample.
+    pub fn add(&mut self, v: f64) {
+        let b = if v < 1.0 {
+            0
+        } else {
+            (v.log2().floor() as usize) + 1
+        };
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.count += 1;
+    }
+
+    /// `(bucket lower bound, count)` for non-empty buckets.
+    pub fn nonzero(&self) -> Vec<(f64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let lo = if i == 0 { 0.0 } else { 2f64.powi(i as i32 - 1) };
+                (lo, c)
+            })
+            .collect()
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_hand_check() {
+        let v: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        let s = Summary::from_samples(&v);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.median, 50.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+        assert!((s.avg - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::from_samples(&[42.0]);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.median, 42.0);
+        assert_eq!(s.p999, 42.0);
+        assert_eq!(s.max, 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn summary_empty_panics() {
+        Summary::from_samples(&[]);
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        // Unsorted input; heavy tail.
+        let mut v: Vec<f64> = (0..1000).map(|x| (x % 997) as f64).collect();
+        v[3] = 1e9;
+        let s = Summary::from_samples(&v);
+        assert_eq!(s.max, 1e9);
+        assert!(s.p999 < 1e9, "p999 below the single outlier");
+    }
+
+    #[test]
+    fn cdf_monotone_and_bounded() {
+        let v: Vec<f64> = (0..5000).map(|x| ((x * 37) % 1000) as f64).collect();
+        let c = Cdf::from_samples(&v, 100);
+        let pts = c.points();
+        assert!(pts.len() <= 102);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+        assert!(c.prob_at(-1.0) == 0.0);
+        assert_eq!(c.prob_at(2000.0), 1.0);
+        assert!(c.value_at(0.5) >= 400.0 && c.value_at(0.5) <= 600.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = LogHistogram::new();
+        for v in [0.5, 1.0, 1.9, 2.0, 3.9, 4.0, 1000.0] {
+            h.add(v);
+        }
+        assert_eq!(h.count(), 7);
+        let nz = h.nonzero();
+        // 0.5 -> [0,1); 1.0,1.9 -> [1,2); 2.0,3.9 -> [2,4); 4.0 -> [4,8); 1000 -> [512,1024)
+        assert_eq!(nz[0], (0.0, 1));
+        assert_eq!(nz[1], (1.0, 2));
+        assert_eq!(nz[2], (2.0, 2));
+        assert_eq!(nz[3], (4.0, 1));
+        assert_eq!(nz[4], (512.0, 1));
+    }
+}

@@ -1,0 +1,283 @@
+//! The full-suite driver (§5.4): enumerate a parameter grid, run every
+//! combination, collect labelled results.
+//!
+//! The paper's NFP control program executes ≈ 2500 individual tests in
+//! about 4 hours of wall-clock time on hardware. The simulator runs a
+//! comparable grid in seconds; [`SuiteConfig::quick`] is a reduced grid
+//! for CI, [`SuiteConfig::paper`] approximates the full sweep.
+
+use crate::bw::{run_bandwidth, BwOp};
+use crate::lat::{run_latency, LatOp};
+use crate::params::{BenchParams, CacheState, Pattern};
+use crate::setup::BenchSetup;
+use pcie_device::DmaPath;
+use pcie_host::presets::NumaPlacement;
+
+/// What a suite entry measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Measurement {
+    /// Median / p95 / p99 latency in ns.
+    LatencyNs {
+        /// Median latency.
+        median: f64,
+        /// 95th percentile.
+        p95: f64,
+        /// 99th percentile.
+        p99: f64,
+    },
+    /// Payload bandwidth in Gb/s and transaction rate in Mt/s.
+    Bandwidth {
+        /// Payload Gb/s.
+        gbps: f64,
+        /// Million transactions per second.
+        mtps: f64,
+    },
+}
+
+/// One labelled suite result.
+#[derive(Debug, Clone)]
+pub struct SuiteEntry {
+    /// Benchmark name (`LAT_RD`, `BW_WR`, ...).
+    pub bench: &'static str,
+    /// Transfer size in bytes.
+    pub transfer: u32,
+    /// Window size in bytes.
+    pub window: u64,
+    /// Cache state.
+    pub cache: CacheState,
+    /// Start offset within a cache line.
+    pub offset: u32,
+    /// Access pattern.
+    pub pattern: Pattern,
+    /// Measured values.
+    pub value: Measurement,
+}
+
+/// Grid configuration.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Transfer sizes for latency benchmarks.
+    pub lat_sizes: Vec<u32>,
+    /// Transfer sizes for bandwidth benchmarks.
+    pub bw_sizes: Vec<u32>,
+    /// Window sizes.
+    pub windows: Vec<u64>,
+    /// Cache states to test.
+    pub states: Vec<CacheState>,
+    /// Start offsets within a cache line (§4 / Fig. 3).
+    pub offsets: Vec<u32>,
+    /// Access-order patterns.
+    pub patterns: Vec<Pattern>,
+    /// Transactions per latency test.
+    pub n_lat: usize,
+    /// Transactions per bandwidth test.
+    pub n_bw: usize,
+}
+
+impl SuiteConfig {
+    /// A small grid that runs in well under a second (CI).
+    pub fn quick() -> Self {
+        SuiteConfig {
+            lat_sizes: vec![8, 64, 512],
+            bw_sizes: vec![64, 256, 1024],
+            windows: vec![8 * 1024, 1024 * 1024],
+            states: vec![CacheState::Cold, CacheState::HostWarm],
+            offsets: vec![0],
+            patterns: vec![Pattern::Random],
+            n_lat: 200,
+            n_bw: 2_000,
+        }
+    }
+
+    /// A grid approximating the paper's full 4-hour hardware sweep
+    /// (≈ 2500 tests; simulated in minutes).
+    pub fn paper() -> Self {
+        let mut lat_sizes = vec![8, 16, 32];
+        let mut bw_sizes = Vec::new();
+        for base in [64u32, 128, 256, 512, 1024, 1536, 2048] {
+            for sz in [base - 1, base, base + 1] {
+                lat_sizes.push(sz);
+                bw_sizes.push(sz);
+            }
+        }
+        SuiteConfig {
+            lat_sizes,
+            bw_sizes,
+            windows: vec![
+                4 << 10,
+                16 << 10,
+                64 << 10,
+                256 << 10,
+                1 << 20,
+                4 << 20,
+                16 << 20,
+                64 << 20,
+            ],
+            states: vec![
+                CacheState::Cold,
+                CacheState::HostWarm,
+                CacheState::DeviceWarm,
+            ],
+            offsets: vec![0, 1, 32],
+            patterns: vec![Pattern::Random],
+            n_lat: 2_000,
+            n_bw: 20_000,
+        }
+    }
+
+    /// Number of individual tests this grid will run (upper bound:
+    /// invalid geometry combinations are skipped).
+    pub fn test_count(&self) -> usize {
+        let dims =
+            self.windows.len() * self.states.len() * self.offsets.len() * self.patterns.len();
+        let lat = self.lat_sizes.len() * dims * 2;
+        let bw = self.bw_sizes.len() * dims * 3;
+        lat + bw
+    }
+}
+
+/// Runs the full grid on `setup`.
+pub fn run_suite(setup: &BenchSetup, cfg: &SuiteConfig) -> Vec<SuiteEntry> {
+    let mut out = Vec::with_capacity(cfg.test_count());
+    for &window in &cfg.windows {
+        for &cache in &cfg.states {
+            for &offset in &cfg.offsets {
+                for &pattern in &cfg.patterns {
+                    for &sz in &cfg.lat_sizes {
+                        let params = BenchParams {
+                            window,
+                            transfer: sz,
+                            offset,
+                            pattern,
+                            cache,
+                            placement: NumaPlacement::Local,
+                        };
+                        if params.validate().is_err() {
+                            continue;
+                        }
+                        for op in [LatOp::Rd, LatOp::WrRd] {
+                            let r = run_latency(setup, &params, op, cfg.n_lat, DmaPath::DmaEngine);
+                            out.push(SuiteEntry {
+                                bench: op.name(),
+                                transfer: sz,
+                                window,
+                                cache,
+                                offset,
+                                pattern,
+                                value: Measurement::LatencyNs {
+                                    median: r.summary.median,
+                                    p95: r.summary.p95,
+                                    p99: r.summary.p99,
+                                },
+                            });
+                        }
+                    }
+                    for &sz in &cfg.bw_sizes {
+                        let params = BenchParams {
+                            window,
+                            transfer: sz,
+                            offset,
+                            pattern,
+                            cache,
+                            placement: NumaPlacement::Local,
+                        };
+                        if params.validate().is_err() {
+                            continue;
+                        }
+                        for op in [BwOp::Rd, BwOp::Wr, BwOp::RdWr] {
+                            let r = run_bandwidth(setup, &params, op, cfg.n_bw, DmaPath::DmaEngine);
+                            out.push(SuiteEntry {
+                                bench: op.name(),
+                                transfer: sz,
+                                window,
+                                cache,
+                                offset,
+                                pattern,
+                                value: Measurement::Bandwidth {
+                                    gbps: r.gbps,
+                                    mtps: r.mtps,
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders suite entries as an aligned text table.
+pub fn format_suite(entries: &[SuiteEntry]) -> String {
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| {
+            let (v1, v2) = match e.value {
+                Measurement::LatencyNs { median, p95, .. } => (
+                    format!("{median:.0} ns (median)"),
+                    format!("{p95:.0} ns (p95)"),
+                ),
+                Measurement::Bandwidth { gbps, mtps } => {
+                    (format!("{gbps:.2} Gb/s"), format!("{mtps:.2} Mt/s"))
+                }
+            };
+            vec![
+                e.bench.to_string(),
+                format!("{}B", e.transfer),
+                format!("{}KiB", e.window / 1024),
+                format!("{:?}", e.cache),
+                format!("+{}", e.offset),
+                format!("{:?}", e.pattern),
+                v1,
+                v2,
+            ]
+        })
+        .collect();
+    crate::report::format_table(
+        &[
+            "bench", "transfer", "window", "cache", "offset", "pattern", "value", "aux",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_runs_and_labels() {
+        let setup = BenchSetup::netfpga_hsw();
+        let mut cfg = SuiteConfig::quick();
+        // trim further for test speed
+        cfg.lat_sizes = vec![64];
+        cfg.bw_sizes = vec![64];
+        cfg.windows = vec![8 * 1024];
+        cfg.n_lat = 60;
+        cfg.n_bw = 400;
+        let entries = run_suite(&setup, &cfg);
+        assert_eq!(entries.len(), cfg.test_count());
+        assert!(entries.iter().any(|e| e.bench == "LAT_RD"));
+        assert!(entries.iter().any(|e| e.bench == "BW_RDWR"));
+        for e in &entries {
+            match e.value {
+                Measurement::LatencyNs { median, .. } => assert!(median > 100.0),
+                Measurement::Bandwidth { gbps, .. } => assert!(gbps > 1.0),
+            }
+        }
+        let table = format_suite(&entries);
+        assert!(table.contains("BW_RD"));
+        assert!(table.contains("Gb/s"));
+    }
+
+    #[test]
+    fn paper_grid_size_is_comparable_to_papers() {
+        let cfg = SuiteConfig::paper();
+        // "A complete run ... executes around 2500 individual tests."
+        let n = cfg.test_count();
+        assert!(
+            (1500..9000).contains(&n),
+            "grid of {n} tests should be comparable to the paper's ~2500"
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! PCI configuration space and the MPS/MRRS negotiation.
+//!
+//! Both pcie-bench implementations "use a kernel driver to initialize
+//! the hardware" (§5.3) — which on real systems means config-space
+//! enumeration: reading vendor/device IDs, sizing and programming BARs,
+//! walking the capability list, and — the part that matters for every
+//! result in the paper — programming the negotiated Maximum Payload
+//! Size and Maximum Read Request Size into the PCI Express capability's
+//! Device Control register. This module implements a type-0 function
+//! with exactly those mechanics.
+
+use pcie_model::config::LinkConfig;
+
+/// Standard header registers (DWORD numbers; byte offsets 0x00, 0x04,
+/// 0x08, 0x10 and 0x34 of the type-0 header).
+const REG_ID: u16 = 0;
+const REG_COMMAND_STATUS: u16 = 1;
+const REG_CLASS: u16 = 2;
+const REG_BAR0: u16 = 4;
+const REG_CAP_PTR: u16 = 13;
+
+/// PCIe capability layout (offsets from the capability base, in bytes).
+const PCIE_CAP_ID: u32 = 0x10;
+/// Byte offset of the capability in our layout.
+const PCIE_CAP_BASE: u16 = 0x60;
+
+/// Number of dwords in the 4 KiB extended configuration space.
+const CFG_DWORDS: usize = 1024;
+
+/// A type-0 (endpoint) configuration space.
+///
+/// Reads/writes follow hardware semantics: read-only fields ignore
+/// writes, BARs implement the size-probing protocol (write all-ones,
+/// read back the size mask), and Device Control accepts MPS/MRRS
+/// encodings up to the device's advertised capability.
+#[derive(Debug, Clone)]
+pub struct ConfigSpace {
+    regs: [u32; CFG_DWORDS],
+    /// BAR0 size in bytes (power of two); the only BAR we model.
+    bar0_size: u64,
+    /// Latched all-ones write to BAR0 (size probe in progress).
+    bar0_probing: bool,
+    /// Largest payload the device supports, as a DevCap encoding
+    /// (0 = 128B ... 5 = 4096B).
+    max_payload_cap: u8,
+}
+
+/// Encodes a byte size into the PCIe 3-bit payload/request encoding.
+pub fn encode_size(bytes: u32) -> u8 {
+    assert!(
+        (128..=4096).contains(&bytes) && bytes.is_power_of_two(),
+        "invalid MPS/MRRS size {bytes}"
+    );
+    (bytes.trailing_zeros() - 7) as u8
+}
+
+/// Decodes the PCIe 3-bit payload/request encoding into bytes.
+pub fn decode_size(code: u8) -> u32 {
+    128 << (code & 0x7)
+}
+
+impl ConfigSpace {
+    /// A config space for a pcie-bench style device: 16 MiB BAR0
+    /// (benchmark CSRs + result memory), PCIe capability advertising
+    /// `max_payload` support.
+    pub fn new(vendor: u16, device: u16, bar0_size: u64, max_payload: u32) -> Self {
+        assert!(bar0_size.is_power_of_two() && bar0_size >= 4096);
+        let mut regs = [0u32; CFG_DWORDS];
+        regs[REG_ID as usize] = ((device as u32) << 16) | vendor as u32;
+        // Status: capabilities list present (bit 4 of status).
+        regs[REG_COMMAND_STATUS as usize] = 0x0010_0000;
+        // Class: network controller / ethernet.
+        regs[REG_CLASS as usize] = 0x0200_0000;
+        // BAR0: 64-bit, non-prefetchable memory (type bits 0b100).
+        regs[REG_BAR0 as usize] = 0x0000_0004;
+        regs[REG_CAP_PTR as usize] = PCIE_CAP_BASE as u32;
+        // PCIe capability header: ID 0x10, no next, version 2,
+        // device/port type endpoint (0).
+        regs[(PCIE_CAP_BASE / 4) as usize] = 0x0002_0000 | PCIE_CAP_ID;
+        let cap = encode_size(max_payload) as u32;
+        // DevCap at base+4: max payload supported in bits 2:0.
+        regs[(PCIE_CAP_BASE / 4 + 1) as usize] = cap;
+        // DevCtl at base+8: reset values MPS=128B, MRRS=512B.
+        regs[(PCIE_CAP_BASE / 4 + 2) as usize] = 0x2 << 12;
+        ConfigSpace {
+            regs,
+            bar0_size,
+            bar0_probing: false,
+            max_payload_cap: cap as u8,
+        }
+    }
+
+    /// The NFP6000-like identity used in the examples/tests.
+    pub fn nfp6000_like() -> Self {
+        // Netronome vendor ID 0x19ee, NFP6000 device ID 0x6000.
+        ConfigSpace::new(0x19ee, 0x6000, 16 << 20, 1024)
+    }
+
+    /// Config read of DWORD `register`.
+    pub fn read(&self, register: u16) -> u32 {
+        assert!((register as usize) < CFG_DWORDS, "beyond config space");
+        if register == REG_BAR0 && self.bar0_probing {
+            // Size probe: low bits = type, upper bits = size mask.
+            let mask = !(self.bar0_size as u32 - 1);
+            return mask | 0x4;
+        }
+        self.regs[register as usize]
+    }
+
+    /// Config write of DWORD `register`.
+    pub fn write(&mut self, register: u16, value: u32) {
+        assert!((register as usize) < CFG_DWORDS, "beyond config space");
+        match register {
+            REG_ID | REG_CLASS => { /* read-only */ }
+            REG_BAR0 => {
+                if value == u32::MAX {
+                    self.bar0_probing = true;
+                } else {
+                    self.bar0_probing = false;
+                    // Address bits within the size granularity are RO.
+                    let mask = !(self.bar0_size as u32 - 1);
+                    self.regs[register as usize] = (value & mask) | 0x4;
+                }
+            }
+            r if r == PCIE_CAP_BASE / 4 + 2 => {
+                // DevCtl: clamp MPS (bits 7:5) to DevCap; MRRS is 14:12.
+                let mut mps = ((value >> 5) & 0x7) as u8;
+                if mps > self.max_payload_cap {
+                    mps = self.max_payload_cap;
+                }
+                let mrrs = (value >> 12) & 0x7;
+                self.regs[register as usize] =
+                    (value & !(0x7 << 5) & !(0x7 << 12)) | ((mps as u32) << 5) | (mrrs << 12);
+            }
+            _ => self.regs[register as usize] = value,
+        }
+    }
+
+    /// Vendor/device IDs.
+    pub fn ids(&self) -> (u16, u16) {
+        let v = self.regs[REG_ID as usize];
+        (v as u16, (v >> 16) as u16)
+    }
+
+    /// Walks the capability list looking for capability `id`; returns
+    /// its byte offset.
+    pub fn find_capability(&self, id: u8) -> Option<u16> {
+        let mut ptr = (self.read(REG_CAP_PTR) & 0xfc) as u16;
+        let mut hops = 0;
+        while ptr != 0 && hops < 48 {
+            let hdr = self.read(ptr / 4);
+            if (hdr & 0xff) as u8 == id {
+                return Some(ptr);
+            }
+            ptr = ((hdr >> 8) & 0xfc) as u16;
+            hops += 1;
+        }
+        None
+    }
+
+    /// Currently programmed (MPS, MRRS) in bytes.
+    pub fn negotiated(&self) -> (u32, u32) {
+        let devctl = self.read(PCIE_CAP_BASE / 4 + 2);
+        (
+            decode_size(((devctl >> 5) & 0x7) as u8),
+            decode_size(((devctl >> 12) & 0x7) as u8),
+        )
+    }
+
+    /// The driver-side negotiation (§5.3's initialisation): program
+    /// DevCtl with the smaller of the device's and the root port's
+    /// payload capability, and the requested MRRS. Returns the
+    /// `LinkConfig` the data path should use from then on.
+    pub fn negotiate(
+        &mut self,
+        root_port_mps: u32,
+        want_mrrs: u32,
+        base: LinkConfig,
+    ) -> LinkConfig {
+        let dev_mps = decode_size(self.max_payload_cap);
+        let mps = dev_mps.min(root_port_mps);
+        let devctl = ((encode_size(mps) as u32) << 5) | ((encode_size(want_mrrs) as u32) << 12);
+        self.write(PCIE_CAP_BASE / 4 + 2, devctl);
+        let (mps, mrrs) = self.negotiated();
+        LinkConfig { mps, mrrs, ..base }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_encodings() {
+        assert_eq!(encode_size(128), 0);
+        assert_eq!(encode_size(256), 1);
+        assert_eq!(encode_size(4096), 5);
+        assert_eq!(decode_size(0), 128);
+        assert_eq!(decode_size(2), 512);
+        for bytes in [128u32, 256, 512, 1024, 2048, 4096] {
+            assert_eq!(decode_size(encode_size(bytes)), bytes);
+        }
+    }
+
+    #[test]
+    fn identity_is_read_only() {
+        let mut cs = ConfigSpace::nfp6000_like();
+        assert_eq!(cs.ids(), (0x19ee, 0x6000));
+        cs.write(0, 0xdead_beef);
+        assert_eq!(cs.ids(), (0x19ee, 0x6000));
+    }
+
+    #[test]
+    fn bar0_size_probe_protocol() {
+        let mut cs = ConfigSpace::nfp6000_like();
+        // Driver writes all-ones, reads back the size mask.
+        cs.write(REG_BAR0, u32::MAX);
+        let probe = cs.read(REG_BAR0);
+        let size = 1u64 << (probe & !0xf).trailing_zeros();
+        assert_eq!(size, 16 << 20, "BAR0 sizes as 16MiB");
+        // Then programs a base address; low (size-covered) bits stay 0.
+        cs.write(REG_BAR0, 0xfb00_1234);
+        let v = cs.read(REG_BAR0);
+        assert_eq!(v & 0xf, 0x4, "64-bit memory BAR type bits");
+        assert_eq!(v & !0xf, 0xfb00_0000, "address aligned to BAR size");
+    }
+
+    #[test]
+    fn capability_walk_finds_pcie_cap() {
+        let cs = ConfigSpace::nfp6000_like();
+        let off = cs.find_capability(0x10).expect("PCIe capability");
+        assert_eq!(off, 0x60);
+        assert!(cs.find_capability(0x05).is_none(), "no MSI cap modelled");
+    }
+
+    #[test]
+    fn negotiation_clamps_to_device_capability() {
+        let mut cs = ConfigSpace::nfp6000_like(); // supports 1024B
+        let base = LinkConfig::gen3_x8();
+        // Root port only supports 256B: MPS = min(1024, 256).
+        let link = cs.negotiate(256, 512, base);
+        assert_eq!(link.mps, 256);
+        assert_eq!(link.mrrs, 512);
+        assert_eq!(cs.negotiated(), (256, 512));
+        // A root port offering 4096B is clamped by the device's 1024B.
+        let link = cs.negotiate(4096, 4096, base);
+        assert_eq!(link.mps, 1024);
+        assert_eq!(link.mrrs, 4096);
+    }
+
+    #[test]
+    fn devctl_direct_write_respects_cap() {
+        let mut cs = ConfigSpace::new(0x19ee, 0x6000, 4096, 256);
+        // Ask for MPS=4096 (code 5) directly: clamped to 256 (code 1).
+        cs.write(0x68 / 4, 5 << 5);
+        assert_eq!(cs.negotiated().0, 256);
+    }
+
+    #[test]
+    fn reset_defaults_match_spec() {
+        let cs = ConfigSpace::nfp6000_like();
+        // Spec reset: MPS 128B, MRRS 512B.
+        assert_eq!(cs.negotiated(), (128, 512));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond config space")]
+    fn out_of_range_register_panics() {
+        ConfigSpace::nfp6000_like().read(1024);
+    }
+}

@@ -1,0 +1,205 @@
+//! Multiple devices sharing one host — the paper's §9 future work:
+//! "we have not yet studied the impact of multiple high performance
+//! PCIe devices in the same server, a common configuration in
+//! datacenters. Such a study would reveal further insights into the
+//! implementation of IOMMUs (e.g. are IO-TLB entries shared between
+//! devices) and potentially unearth further bottlenecks in the PCIe
+//! root complex implementation."
+//!
+//! [`MultiPlatform`] attaches several [`DeviceEngine`]s (each with its
+//! own link, tags, credits and IOMMU protection domain) to a single
+//! [`HostSystem`]: the engines contend for the root-complex service
+//! pipe, the DRAM channels, the DDIO ways and — crucially — the shared
+//! IO-TLB.
+
+use crate::params::DeviceParams;
+use crate::platform::{DeviceEngine, DmaPath, DmaResult};
+use pcie_host::{HostBuffer, HostSystem};
+use pcie_link::LinkTiming;
+use pcie_model::config::LinkConfig;
+use pcie_sim::SimTime;
+
+/// Several devices behind one root complex.
+pub struct MultiPlatform {
+    /// The shared host.
+    pub host: HostSystem,
+    engines: Vec<DeviceEngine>,
+}
+
+impl MultiPlatform {
+    /// Builds a multi-device platform; device *i* translates in IOMMU
+    /// domain *i*.
+    pub fn new(devices: Vec<(DeviceParams, LinkConfig, LinkTiming)>, host: HostSystem) -> Self {
+        assert!(!devices.is_empty());
+        let engines = devices
+            .into_iter()
+            .enumerate()
+            .map(|(i, (dev, cfg, timing))| DeviceEngine::new(dev, cfg, timing, i as u32))
+            .collect();
+        MultiPlatform { host, engines }
+    }
+
+    /// Convenience: `n` identical devices.
+    pub fn homogeneous(
+        n: usize,
+        dev: DeviceParams,
+        cfg: LinkConfig,
+        timing: LinkTiming,
+        host: HostSystem,
+    ) -> Self {
+        Self::new(vec![(dev, cfg, timing); n], host)
+    }
+
+    /// Number of attached devices.
+    pub fn device_count(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// The engine of device `i` (diagnostics: link counters, waits).
+    pub fn engine(&self, i: usize) -> &DeviceEngine {
+        &self.engines[i]
+    }
+
+    /// DMA read from device `i`.
+    pub fn dma_read(
+        &mut self,
+        i: usize,
+        want: SimTime,
+        buf: &HostBuffer,
+        offset: u64,
+        len: u32,
+        path: DmaPath,
+    ) -> DmaResult {
+        self.engines[i].dma_read(&mut self.host, want, buf, offset, len, path)
+    }
+
+    /// DMA write from device `i`.
+    pub fn dma_write(
+        &mut self,
+        i: usize,
+        want: SimTime,
+        buf: &HostBuffer,
+        offset: u64,
+        len: u32,
+        path: DmaPath,
+    ) -> DmaResult {
+        self.engines[i].dma_write(&mut self.host, want, buf, offset, len, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcie_host::buffer::BufferAllocator;
+    use pcie_host::presets::HostPreset;
+    use pcie_host::Iommu;
+
+    fn two_device_platform(iommu: bool) -> (MultiPlatform, HostBuffer, HostBuffer) {
+        let mut alloc = BufferAllocator::default_layout();
+        let buf_a = alloc.alloc(1 << 20, 0);
+        let buf_b = alloc.alloc(1 << 20, 0);
+        let mut host = HostSystem::new(HostPreset::nfp6000_bdw(), 31);
+        if iommu {
+            host.set_iommu(Some(Iommu::intel_4k()));
+        }
+        host.host_warm(&buf_a, 0, 1 << 20);
+        host.host_warm(&buf_b, 0, 1 << 20);
+        let p = MultiPlatform::homogeneous(
+            2,
+            DeviceParams::netfpga(),
+            LinkConfig::gen3_x8(),
+            LinkTiming::default(),
+            host,
+        );
+        (p, buf_a, buf_b)
+    }
+
+    /// Closed-loop read bandwidth of device 0 while device 1 issues a
+    /// competing stream.
+    fn bw_with_competitor(
+        p: &mut MultiPlatform,
+        buf_a: &HostBuffer,
+        buf_b: Option<&HostBuffer>,
+        n: u32,
+        sz: u32,
+    ) -> f64 {
+        let window = 1 << 19; // 512KiB each: jointly exceeds the IO-TLB
+        let mut last = SimTime::ZERO;
+        for i in 0..n {
+            let off = (i as u64 * 4096 + (i as u64 % 64) * 64) % (window - 4096);
+            let r = p.dma_read(0, SimTime::ZERO, buf_a, off & !63, sz, DmaPath::DmaEngine);
+            last = last.max(r.done);
+            if let Some(b) = buf_b {
+                p.dma_read(1, SimTime::ZERO, b, off & !63, sz, DmaPath::DmaEngine);
+            }
+        }
+        n as f64 * sz as f64 * 8.0 / last.as_secs_f64() / 1e9
+    }
+
+    #[test]
+    fn two_devices_each_get_their_own_link() {
+        let (mut p, a, b) = two_device_platform(false);
+        // Large reads saturate one link; two devices together must
+        // clearly exceed one device's throughput (separate links).
+        let solo = bw_with_competitor(&mut p, &a, None, 4_000, 512);
+        let (mut p2, a2, b2) = two_device_platform(false);
+        let with = bw_with_competitor(&mut p2, &a2, Some(&b2), 4_000, 512);
+        let _ = b;
+        // Device 0 slows only by shared host resources, not by a
+        // shared wire: far less than a 2x hit.
+        assert!(
+            with > solo * 0.60,
+            "link separation: solo {solo:.1}, contended {with:.1}"
+        );
+        assert!(
+            p2.engine(1)
+                .link()
+                .counters(pcie_link::Direction::Upstream)
+                .tlps
+                > 0
+        );
+    }
+
+    #[test]
+    fn shared_iotlb_devices_evict_each_other() {
+        // Each device's working set alone fits the 64-entry IO-TLB
+        // (128KiB < 256KiB); together they exceed it.
+        let (mut p, a, _) = two_device_platform(true);
+        let solo = bw_with_competitor(&mut p, &a, None, 4_000, 64);
+        let (mut p2, a2, b2) = two_device_platform(true);
+        let contended = bw_with_competitor(&mut p2, &a2, Some(&b2), 4_000, 64);
+        let stats = p2.host.iommu().unwrap().stats();
+        assert!(
+            stats.tlb_misses > stats.tlb_hits / 4,
+            "joint working set must thrash the shared IO-TLB: {stats:?}"
+        );
+        assert!(
+            contended < solo * 0.85,
+            "IO-TLB sharing must cost bandwidth: solo {solo:.1}, contended {contended:.1}"
+        );
+    }
+
+    #[test]
+    fn domains_isolate_translations_but_share_capacity() {
+        let mut iommu = Iommu::intel_4k();
+        // Same page number in two domains: two distinct entries.
+        iommu.translate_in(SimTime::ZERO, 0, 0x1000, 64);
+        let t = iommu.translate_in(SimTime::ZERO, 1, 0x1000, 64);
+        assert!(!t.tlb_hit, "domain 1 must not hit domain 0's entry");
+        let t = iommu.translate_in(SimTime::ZERO, 1, 0x1000, 64);
+        assert!(t.tlb_hit);
+        // Domain flush removes only that domain.
+        iommu.flush_domain(1);
+        let t0 = iommu.translate_in(SimTime::ZERO, 0, 0x1000, 64);
+        assert!(t0.tlb_hit, "domain 0 survives domain 1's flush");
+        let t1 = iommu.translate_in(SimTime::ZERO, 1, 0x1000, 64);
+        assert!(!t1.tlb_hit);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_platform_rejected() {
+        let host = HostSystem::new(HostPreset::netfpga_hsw(), 1);
+        MultiPlatform::new(vec![], host);
+    }
+}

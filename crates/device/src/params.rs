@@ -1,0 +1,156 @@
+//! Device parameter sets for the two pcie-bench vehicles.
+
+use pcie_sim::SimTime;
+
+/// The direct PCIe command interface of the NFP (§5.1): small reads
+/// and writes issued straight from core registers, bypassing the DMA
+/// engine and its enqueue overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CmdIfParams {
+    /// Per-command issue overhead.
+    pub issue_overhead: SimTime,
+    /// Largest transfer the interface supports (128 B on the NFP).
+    pub max_size: u32,
+    /// Concurrent commands the interface sustains.
+    pub max_inflight: usize,
+}
+
+/// Everything that characterises a benchmark device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceParams {
+    /// Device name for reports.
+    pub name: &'static str,
+    /// Overhead to prepare and enqueue one DMA descriptor (worker
+    /// thread + DMA-engine dequeue; "enqueuing DMA descriptors incurs
+    /// a [50–100 cycle] latency", §5.1).
+    pub dma_issue_overhead: SimTime,
+    /// Device-side completion handling (signal + journal).
+    pub dma_complete_overhead: SimTime,
+    /// Fixed cost of the internal staging copy (CTM ↔ NFP memory);
+    /// zero on NetFPGA, which drives DMA straight from fabric memory.
+    pub internal_copy_fixed: SimTime,
+    /// Per-byte cost of the internal staging copy.
+    pub internal_copy_per_byte_ps: u64,
+    /// Maximum in-flight DMA read requests (tag window).
+    pub max_inflight_reads: usize,
+    /// Worker threads preparing DMAs (12 cores × 8 threads on the NFP
+    /// firmware, §5.1; the NetFPGA state machine behaves like one very
+    /// fast worker per clock).
+    pub workers: usize,
+    /// Minimum spacing between DMA issues (engine issue port).
+    pub issue_gap: SimTime,
+    /// Timestamp counter resolution in ps (NFP: 19.2 ns; NetFPGA: 4 ns).
+    pub timestamp_quantum_ps: u64,
+    /// The direct command interface, if the device has one.
+    pub cmdif: Option<CmdIfParams>,
+}
+
+impl DeviceParams {
+    /// The NFP-6000 firmware implementation (§5.1).
+    pub fn nfp6000() -> Self {
+        DeviceParams {
+            name: "NFP6000",
+            dma_issue_overhead: SimTime::from_ns(90),
+            dma_complete_overhead: SimTime::from_ns(20),
+            internal_copy_fixed: SimTime::from_ns(25),
+            internal_copy_per_byte_ps: 190,
+            max_inflight_reads: 32,
+            workers: 96,
+            issue_gap: SimTime::from_ns(8),
+            timestamp_quantum_ps: 19_200,
+            cmdif: Some(CmdIfParams {
+                issue_overhead: SimTime::from_ns(25),
+                max_size: 128,
+                max_inflight: 32,
+            }),
+        }
+    }
+
+    /// The NetFPGA-SUME implementation (§5.2): direct DMA-engine
+    /// control from a 250 MHz state machine.
+    pub fn netfpga() -> Self {
+        DeviceParams {
+            name: "NetFPGA",
+            dma_issue_overhead: SimTime::from_ns(8),
+            dma_complete_overhead: SimTime::from_ns(8),
+            internal_copy_fixed: SimTime::ZERO,
+            internal_copy_per_byte_ps: 0,
+            max_inflight_reads: 64,
+            workers: 64,
+            issue_gap: SimTime::from_ns(4),
+            timestamp_quantum_ps: 4_000,
+            cmdif: None,
+        }
+    }
+
+    /// A commodity-NIC-style DMA engine: deep descriptor queues (the
+    /// engine streams requests without waiting for completions, unlike
+    /// the benchmark firmware's worker threads), full PCIe tag usage,
+    /// no staging copy. Used by the NIC simulations of `pcie-nic`.
+    pub fn nic_dma_engine() -> Self {
+        DeviceParams {
+            name: "NIC-DMA",
+            dma_issue_overhead: SimTime::from_ns(15),
+            dma_complete_overhead: SimTime::from_ns(10),
+            internal_copy_fixed: SimTime::ZERO,
+            internal_copy_per_byte_ps: 0,
+            max_inflight_reads: 64,
+            workers: 2048,
+            issue_gap: SimTime::from_ns(2),
+            timestamp_quantum_ps: 4_000,
+            cmdif: None,
+        }
+    }
+
+    /// Internal staging-copy time for `len` bytes.
+    pub fn internal_copy(&self, len: u32) -> SimTime {
+        if self.internal_copy_fixed == SimTime::ZERO && self.internal_copy_per_byte_ps == 0 {
+            return SimTime::ZERO;
+        }
+        self.internal_copy_fixed + SimTime::from_ps(self.internal_copy_per_byte_ps * len as u64)
+    }
+
+    /// Quantises a measured duration to the device's timestamp counter.
+    pub fn quantize(&self, t: SimTime) -> SimTime {
+        t.quantize_up(self.timestamp_quantum_ps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nfp_has_cmdif_netfpga_does_not() {
+        assert!(DeviceParams::nfp6000().cmdif.is_some());
+        assert!(DeviceParams::netfpga().cmdif.is_none());
+    }
+
+    #[test]
+    fn internal_copy_scales_with_size() {
+        let nfp = DeviceParams::nfp6000();
+        let c64 = nfp.internal_copy(64);
+        let c2048 = nfp.internal_copy(2048);
+        assert!(c2048 > c64);
+        // The size-dependent part: (2048-64) * 190ps ≈ 377ns.
+        let delta = (c2048 - c64).as_ns_f64();
+        assert!((delta - 377.0).abs() < 1.0, "{delta}");
+        assert_eq!(DeviceParams::netfpga().internal_copy(2048), SimTime::ZERO);
+    }
+
+    #[test]
+    fn timestamp_quantisation() {
+        let nfp = DeviceParams::nfp6000();
+        assert_eq!(nfp.quantize(SimTime::from_ns(1)).as_ps(), 19_200);
+        let fpga = DeviceParams::netfpga();
+        assert_eq!(fpga.quantize(SimTime::from_ns(1)).as_ps(), 4_000);
+    }
+
+    #[test]
+    fn nfp_issue_overhead_dwarfs_netfpga() {
+        // The paper's "initial fixed offset of about 100ns" (§6.1).
+        let gap = DeviceParams::nfp6000().dma_issue_overhead.as_ns_f64()
+            - DeviceParams::netfpga().dma_issue_overhead.as_ns_f64();
+        assert!((70.0..130.0).contains(&gap), "{gap}");
+    }
+}

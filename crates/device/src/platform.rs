@@ -1,0 +1,719 @@
+//! The closed device ⇄ link ⇄ host loop.
+//!
+//! [`Platform`] is what a benchmark drives. Each DMA:
+//!
+//! 1. waits for a firmware **worker** slot (the NFP runs 96 worker
+//!    threads; the NetFPGA state machine is modelled as many fast
+//!    workers),
+//! 2. pays descriptor preparation/enqueue overhead, then the DMA
+//!    engine's **issue port** (one request per engine clock),
+//! 3. waits for a **tag** (reads) or **posted flow-control credit**
+//!    (writes),
+//! 4. serialises request TLPs onto the upstream link,
+//! 5. is served by the **root complex** (cache/DDIO, IOMMU, NUMA —
+//!    see `pcie-host`),
+//! 6. receives completions downstream (reads), pays the internal
+//!    staging copy (NFP) and completion handling.
+//!
+//! Because every shared stage is a FIFO timeline or slot gate, issuing
+//! transactions in want-time order yields the exact closed-loop
+//! schedule: bandwidth is *produced*, not computed.
+//!
+//! The per-device machinery lives in [`DeviceEngine`], which borrows
+//! the [`HostSystem`] per call — so several engines can share one host
+//! (see [`crate::multi::MultiPlatform`], the paper's §9 multi-device
+//! scenario). [`Platform`] is the common single-device bundle.
+
+use crate::config_space::ConfigSpace;
+use crate::gate::SlotGate;
+use crate::params::DeviceParams;
+use pcie_host::{HostBuffer, HostSystem};
+use pcie_link::{Direction, Link, LinkTiming};
+use pcie_model::config::LinkConfig;
+use pcie_sim::{SimTime, Timeline};
+use pcie_tlp::split;
+use pcie_tlp::types::TlpType;
+
+/// Which device path issues a transfer (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmaPath {
+    /// The bulk DMA engine (descriptor-based).
+    DmaEngine,
+    /// The NFP's direct PCIe command interface (small transfers only).
+    CommandIf,
+}
+
+/// Timing of one completed DMA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaResult {
+    /// When the issuing thread started (timestamp before enqueue).
+    pub issued: SimTime,
+    /// When the device observed completion.
+    pub done: SimTime,
+    /// When the host memory system absorbed the transfer. For reads
+    /// this equals `done`; for (posted) writes it is the instant the
+    /// data became host-visible, which the device cannot observe.
+    pub absorbed: SimTime,
+}
+
+impl DmaResult {
+    /// Raw latency (no timestamp quantisation).
+    pub fn latency(&self) -> SimTime {
+        self.done - self.issued
+    }
+}
+
+/// Posted/non-posted header credits a typical root port advertises
+/// (per ingress port).
+const POSTED_HDR_CREDITS: usize = 64;
+const NONPOSTED_HDR_CREDITS: usize = 64;
+
+/// One device's complete PCIe machinery: its link, DMA engine issue
+/// port, worker pool, tag window and flow-control credit gates, plus
+/// the IOMMU protection domain its traffic translates in.
+pub struct DeviceEngine {
+    dev: DeviceParams,
+    link: Link,
+    domain: u32,
+    config: ConfigSpace,
+    issue_port: Timeline,
+    workers: SlotGate,
+    read_tags: SlotGate,
+    posted_credits: SlotGate,
+    nonposted_credits: SlotGate,
+    cmdif_slots: SlotGate,
+}
+
+impl DeviceEngine {
+    /// Builds an engine on its own link, translating in `domain`.
+    pub fn new(dev: DeviceParams, link_cfg: LinkConfig, timing: LinkTiming, domain: u32) -> Self {
+        let cmdif_cap = dev.cmdif.map(|c| c.max_inflight).unwrap_or(1);
+        DeviceEngine {
+            dev,
+            link: Link::new(link_cfg, timing),
+            domain,
+            config: ConfigSpace::nfp6000_like(),
+            issue_port: Timeline::new(),
+            workers: SlotGate::new(dev.workers),
+            read_tags: SlotGate::new(dev.max_inflight_reads),
+            posted_credits: SlotGate::new(POSTED_HDR_CREDITS),
+            nonposted_credits: SlotGate::new(NONPOSTED_HDR_CREDITS),
+            cmdif_slots: SlotGate::new(cmdif_cap),
+        }
+    }
+
+    /// The device parameters.
+    pub fn device(&self) -> &DeviceParams {
+        &self.dev
+    }
+
+    /// The engine's link.
+    pub fn link(&self) -> &Link {
+        &self.link
+    }
+
+    /// Issues a DMA read through this engine.
+    pub fn dma_read(
+        &mut self,
+        host: &mut HostSystem,
+        want: SimTime,
+        buf: &HostBuffer,
+        offset: u64,
+        len: u32,
+        path: DmaPath,
+    ) -> DmaResult {
+        let issued = self.workers.acquire(want);
+        let t0 = match path {
+            DmaPath::DmaEngine => {
+                let prep = issued + self.dev.dma_issue_overhead;
+                self.issue_port.reserve(prep, self.dev.issue_gap).end
+            }
+            DmaPath::CommandIf => {
+                let c = self.dev.cmdif.expect("device has no command interface");
+                assert!(len <= c.max_size, "command interface max {}B", c.max_size);
+                let t = self.cmdif_slots.acquire(issued + c.issue_overhead);
+                self.cmdif_slots.release_at(t); // slot accounted via tags below
+                t
+            }
+        };
+        let done = self.read_after(host, t0, buf, offset, len, path);
+        self.workers.release_at(done);
+        DmaResult {
+            issued,
+            done,
+            absorbed: done,
+        }
+    }
+
+    /// Issues a DMA write. `done` is when the device sees the write
+    /// completed (data handed to the wire); host absorption is later
+    /// and only observable through ordering and credit back-pressure.
+    pub fn dma_write(
+        &mut self,
+        host: &mut HostSystem,
+        want: SimTime,
+        buf: &HostBuffer,
+        offset: u64,
+        len: u32,
+        path: DmaPath,
+    ) -> DmaResult {
+        let issued = self.workers.acquire(want);
+        let (done, absorbed) = self.write_inner(host, issued, buf, offset, len, path);
+        self.workers.release_at(done);
+        DmaResult {
+            issued,
+            done,
+            absorbed,
+        }
+    }
+
+    fn write_inner(
+        &mut self,
+        host: &mut HostSystem,
+        issued: SimTime,
+        buf: &HostBuffer,
+        offset: u64,
+        len: u32,
+        path: DmaPath,
+    ) -> (SimTime, SimTime) {
+        let addr = buf.addr(offset);
+        let t0 = match path {
+            DmaPath::DmaEngine => {
+                // Stage the payload out of internal memory, then enqueue.
+                let staged = issued + self.dev.internal_copy(len);
+                let prep = staged + self.dev.dma_issue_overhead;
+                self.issue_port.reserve(prep, self.dev.issue_gap).end
+            }
+            DmaPath::CommandIf => {
+                let c = self.dev.cmdif.expect("device has no command interface");
+                assert!(len <= c.max_size, "command interface max {}B", c.max_size);
+                issued + c.issue_overhead
+            }
+        };
+        let cfg = *self.link.config();
+        let prop = self.link.timing().propagation;
+        let mut sent_last = t0;
+        let mut absorbed_last = t0;
+        for chunk in split::split_write(addr, len, cfg.mps) {
+            let p_at = self.posted_credits.acquire(sent_last.max(t0));
+            let arrival = self
+                .link
+                .send_tlp(Direction::Upstream, TlpType::MWr64, chunk.len, p_at);
+            let absorbed =
+                host.process_write_tlp_in(arrival, self.domain, buf, chunk.addr, chunk.len);
+            // Posted credits return once the RC absorbs the write.
+            self.posted_credits.release_at(absorbed);
+            absorbed_last = absorbed_last.max(absorbed);
+            sent_last = arrival - prop; // device-side end of serialisation
+        }
+        (sent_last + self.dev.dma_complete_overhead, absorbed_last)
+    }
+
+    /// The `LAT_WRRD` primitive (§4.1): a DMA write immediately
+    /// followed by a DMA read of the same address; PCIe ordering makes
+    /// the read observe the write's cost.
+    pub fn dma_write_read(
+        &mut self,
+        host: &mut HostSystem,
+        want: SimTime,
+        buf: &HostBuffer,
+        offset: u64,
+        len: u32,
+        path: DmaPath,
+    ) -> DmaResult {
+        let issued = self.workers.acquire(want);
+        let (write_done, _) = self.write_inner(host, issued, buf, offset, len, path);
+        // The read descriptor follows the write into the queue.
+        let read = match path {
+            DmaPath::DmaEngine => {
+                let prep = write_done.max(issued + self.dev.dma_issue_overhead);
+                let t0 = self.issue_port.reserve(prep, self.dev.issue_gap).end;
+                self.read_after(host, t0, buf, offset, len, path)
+            }
+            DmaPath::CommandIf => self.read_after(host, write_done, buf, offset, len, path),
+        };
+        self.workers.release_at(read);
+        DmaResult {
+            issued,
+            done: read,
+            absorbed: read,
+        }
+    }
+
+    /// Read issue path shared with `dma_write_read` (no worker gate).
+    fn read_after(
+        &mut self,
+        host: &mut HostSystem,
+        t0: SimTime,
+        buf: &HostBuffer,
+        offset: u64,
+        len: u32,
+        path: DmaPath,
+    ) -> SimTime {
+        let addr = buf.addr(offset);
+        let cfg = *self.link.config();
+        let mut data_done = t0;
+        for chunk in split::split_read_requests(addr, len, cfg.mrrs) {
+            let tag_at = self.read_tags.acquire(t0);
+            let np_at = self.nonposted_credits.acquire(tag_at);
+            let req_arrival = self
+                .link
+                .send_tlp(Direction::Upstream, TlpType::MRd64, 0, np_at);
+            self.nonposted_credits
+                .release_at(req_arrival + SimTime::from_ns(5));
+            let ready =
+                host.process_read_tlp_in(req_arrival, self.domain, buf, chunk.addr, chunk.len);
+            let mut last_arrival = ready;
+            for cpl in split::split_completions(chunk.addr, chunk.len, cfg.mps, cfg.rcb) {
+                last_arrival =
+                    self.link
+                        .send_tlp(Direction::Downstream, TlpType::CplD, cpl.len, ready);
+            }
+            self.read_tags.release_at(last_arrival);
+            data_done = data_done.max(last_arrival);
+        }
+        let internal = match path {
+            DmaPath::DmaEngine => self.dev.internal_copy(len),
+            DmaPath::CommandIf => SimTime::ZERO,
+        };
+        data_done + internal + self.dev.dma_complete_overhead
+    }
+
+    /// Driver-initiated PIO write (doorbell): returns when the device
+    /// sees it.
+    pub fn pio_write(&mut self, now: SimTime, len: u32) -> SimTime {
+        self.link
+            .send_tlp(Direction::Downstream, TlpType::MWr64, len, now)
+    }
+
+    /// Driver-initiated PIO read (e.g. a head-pointer register):
+    /// returns when the data is back at the CPU.
+    ///
+    /// The completion is a sporadic TLP generated at a future instant
+    /// relative to call order, so it is serialised out-of-FIFO (its
+    /// bytes still cost upstream capacity).
+    pub fn pio_read(&mut self, now: SimTime, len: u32) -> SimTime {
+        let req = self
+            .link
+            .send_tlp(Direction::Downstream, TlpType::MRd64, 0, now);
+        // Device register file answers quickly.
+        let ready = req + SimTime::from_ns(10);
+        self.link
+            .send_tlp_deferred(Direction::Upstream, TlpType::CplD, len, ready)
+    }
+
+    /// Configuration-space read (§5.3 driver initialisation): a CfgRd0
+    /// travels downstream; the register value returns in a completion.
+    /// Returns `(data_arrival_at_cpu, value)`.
+    pub fn cfg_read(&mut self, now: SimTime, register: u16) -> (SimTime, u32) {
+        let req = self
+            .link
+            .send_tlp(Direction::Downstream, TlpType::CfgRd0, 0, now);
+        let value = self.config.read(register);
+        // Config accesses go through the device's slow management path.
+        let ready = req + SimTime::from_ns(100);
+        let arr = self
+            .link
+            .send_tlp_deferred(Direction::Upstream, TlpType::CplD, 4, ready);
+        (arr, value)
+    }
+
+    /// Configuration-space write; returns when the CPU sees the
+    /// completion (config writes are non-posted).
+    pub fn cfg_write(&mut self, now: SimTime, register: u16, value: u32) -> SimTime {
+        let req = self
+            .link
+            .send_tlp(Direction::Downstream, TlpType::CfgWr0, 4, now);
+        self.config.write(register, value);
+        let ready = req + SimTime::from_ns(100);
+        self.link
+            .send_tlp_deferred(Direction::Upstream, TlpType::Cpl, 0, ready)
+    }
+
+    /// Direct access to the configuration space (enumeration flows).
+    pub fn config_space(&mut self) -> &mut ConfigSpace {
+        &mut self.config
+    }
+
+    /// Mean acquisition waits of (workers, read tags, posted credits,
+    /// non-posted credits) — bottleneck diagnostics.
+    pub fn gate_waits(&self) -> (SimTime, SimTime, SimTime, SimTime) {
+        (
+            self.workers.mean_wait(),
+            self.read_tags.mean_wait(),
+            self.posted_credits.mean_wait(),
+            self.nonposted_credits.mean_wait(),
+        )
+    }
+
+    /// When the DMA-engine issue port next idles.
+    pub fn issue_busy_until(&self) -> SimTime {
+        self.issue_port.busy_until()
+    }
+
+    /// Accumulated busy time of the DMA-engine issue port.
+    pub fn issue_busy_time(&self) -> SimTime {
+        self.issue_port.busy_time()
+    }
+}
+
+/// A single device + link + host assembly — the common case.
+pub struct Platform {
+    /// The host side (public: benchmarks warm/thrash caches, read stats).
+    pub host: HostSystem,
+    engine: DeviceEngine,
+}
+
+impl Platform {
+    /// Assembles a platform.
+    pub fn new(
+        dev: DeviceParams,
+        host: HostSystem,
+        link_cfg: LinkConfig,
+        timing: LinkTiming,
+    ) -> Self {
+        Platform {
+            host,
+            engine: DeviceEngine::new(dev, link_cfg, timing, 0),
+        }
+    }
+
+    /// The device parameters.
+    pub fn device(&self) -> &DeviceParams {
+        self.engine.device()
+    }
+
+    /// The link (wire counters, utilisation).
+    pub fn link(&self) -> &Link {
+        self.engine.link()
+    }
+
+    /// Quantises a duration to the device's timestamp counter.
+    pub fn quantize(&self, t: SimTime) -> SimTime {
+        self.engine.device().quantize(t)
+    }
+
+    /// Mean acquisition waits of (workers, read tags, posted credits,
+    /// non-posted credits) — bottleneck diagnostics.
+    pub fn gate_waits(&self) -> (SimTime, SimTime, SimTime, SimTime) {
+        self.engine.gate_waits()
+    }
+
+    /// When the DMA-engine issue port next idles.
+    pub fn issue_busy_until(&self) -> SimTime {
+        self.engine.issue_busy_until()
+    }
+
+    /// Accumulated busy time of the DMA-engine issue port.
+    pub fn issue_busy_time(&self) -> SimTime {
+        self.engine.issue_busy_time()
+    }
+
+    /// Issues a DMA read of `[offset, offset+len)` from `buf`, wanted
+    /// at `want`. Returns issue/completion times.
+    pub fn dma_read(
+        &mut self,
+        want: SimTime,
+        buf: &HostBuffer,
+        offset: u64,
+        len: u32,
+        path: DmaPath,
+    ) -> DmaResult {
+        self.engine
+            .dma_read(&mut self.host, want, buf, offset, len, path)
+    }
+
+    /// Issues a DMA write (see [`DeviceEngine::dma_write`]).
+    pub fn dma_write(
+        &mut self,
+        want: SimTime,
+        buf: &HostBuffer,
+        offset: u64,
+        len: u32,
+        path: DmaPath,
+    ) -> DmaResult {
+        self.engine
+            .dma_write(&mut self.host, want, buf, offset, len, path)
+    }
+
+    /// The `LAT_WRRD` primitive (see [`DeviceEngine::dma_write_read`]).
+    pub fn dma_write_read(
+        &mut self,
+        want: SimTime,
+        buf: &HostBuffer,
+        offset: u64,
+        len: u32,
+        path: DmaPath,
+    ) -> DmaResult {
+        self.engine
+            .dma_write_read(&mut self.host, want, buf, offset, len, path)
+    }
+
+    /// Driver-initiated PIO write (doorbell).
+    pub fn pio_write(&mut self, now: SimTime, len: u32) -> SimTime {
+        self.engine.pio_write(now, len)
+    }
+
+    /// Configuration-space read (see [`DeviceEngine::cfg_read`]).
+    pub fn cfg_read(&mut self, now: SimTime, register: u16) -> (SimTime, u32) {
+        self.engine.cfg_read(now, register)
+    }
+
+    /// Configuration-space write (see [`DeviceEngine::cfg_write`]).
+    pub fn cfg_write(&mut self, now: SimTime, register: u16, value: u32) -> SimTime {
+        self.engine.cfg_write(now, register, value)
+    }
+
+    /// The device's configuration space.
+    pub fn config_space(&mut self) -> &mut ConfigSpace {
+        self.engine.config_space()
+    }
+
+    /// Driver-initiated PIO read.
+    pub fn pio_read(&mut self, now: SimTime, len: u32) -> SimTime {
+        self.engine.pio_read(now, len)
+    }
+
+    /// "Device warm" (§4): issue DMA writes over the window before a
+    /// benchmark, so the DDIO partition holds the window's lines.
+    pub fn device_warm(&mut self, buf: &HostBuffer, offset: u64, len: u64, chunk: u32) {
+        let mut t = SimTime::ZERO;
+        let mut off = offset;
+        while off < offset + len {
+            let n = chunk.min((offset + len - off) as u32);
+            let r = self.dma_write(t, buf, off, n, DmaPath::DmaEngine);
+            t = r.done;
+            off += n as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcie_host::buffer::BufferAllocator;
+    use pcie_host::presets::HostPreset;
+
+    fn netfpga_platform() -> (Platform, HostBuffer) {
+        let mut alloc = BufferAllocator::default_layout();
+        let buf = alloc.alloc(8 * 1024, 0);
+        let host = HostSystem::new(HostPreset::netfpga_hsw(), 99);
+        let p = Platform::new(
+            DeviceParams::netfpga(),
+            host,
+            LinkConfig::gen3_x8(),
+            LinkTiming::default(),
+        );
+        (p, buf)
+    }
+
+    fn nfp_platform() -> (Platform, HostBuffer) {
+        let mut alloc = BufferAllocator::default_layout();
+        let buf = alloc.alloc(8 * 1024, 0);
+        let host = HostSystem::new(HostPreset::nfp6000_hsw(), 99);
+        let p = Platform::new(
+            DeviceParams::nfp6000(),
+            host,
+            LinkConfig::gen3_x8(),
+            LinkTiming::default(),
+        );
+        (p, buf)
+    }
+
+    fn min_lat_ns(
+        p: &mut Platform,
+        buf: &HostBuffer,
+        len: u32,
+        f: impl Fn(&mut Platform, SimTime, &HostBuffer, u32) -> DmaResult,
+    ) -> f64 {
+        let mut now = SimTime::ZERO;
+        let mut best = f64::MAX;
+        for _ in 0..48 {
+            now += SimTime::from_us(20);
+            let r = f(p, now, buf, len);
+            best = best.min(r.latency().as_ns_f64());
+        }
+        best
+    }
+
+    #[test]
+    fn netfpga_64b_read_latency_in_paper_band() {
+        let (mut p, buf) = netfpga_platform();
+        p.host.host_warm(&buf, 0, 8 * 1024);
+        let lat = min_lat_ns(&mut p, &buf, 64, |p, t, b, l| {
+            p.dma_read(t, b, 0, l, DmaPath::DmaEngine)
+        });
+        // Paper Fig 5/6: warm 64B reads in the 400-550ns range.
+        assert!(
+            (380.0..560.0).contains(&lat),
+            "NetFPGA 64B warm LAT_RD = {lat}ns"
+        );
+    }
+
+    #[test]
+    fn nfp_dma_read_offset_above_netfpga() {
+        let (mut p1, b1) = netfpga_platform();
+        let (mut p2, b2) = nfp_platform();
+        p1.host.host_warm(&b1, 0, 8 * 1024);
+        p2.host.host_warm(&b2, 0, 8 * 1024);
+        let f = |p: &mut Platform, t: SimTime, b: &HostBuffer, l: u32| {
+            p.dma_read(t, b, 0, l, DmaPath::DmaEngine)
+        };
+        let netfpga = min_lat_ns(&mut p1, &b1, 64, f);
+        let nfp = min_lat_ns(&mut p2, &b2, 64, f);
+        // §6.1: "an initial fixed offset of about 100ns".
+        let gap = nfp - netfpga;
+        assert!((60.0..200.0).contains(&gap), "gap {gap}ns");
+        // §6.2: NFP 64B median ~547ns; min ~520ns.
+        assert!((470.0..660.0).contains(&nfp), "NFP 64B LAT_RD {nfp}ns");
+    }
+
+    #[test]
+    fn cmdif_matches_netfpga_latency() {
+        // "When using the NFP's direct PCIe command interface ... the
+        // NFP-6000 achieves the same latency as the NetFPGA" (§6.1).
+        let (mut p1, b1) = netfpga_platform();
+        let (mut p2, b2) = nfp_platform();
+        p1.host.host_warm(&b1, 0, 8 * 1024);
+        p2.host.host_warm(&b2, 0, 8 * 1024);
+        let netfpga = min_lat_ns(&mut p1, &b1, 64, |p, t, b, l| {
+            p.dma_read(t, b, 0, l, DmaPath::DmaEngine)
+        });
+        let cmdif = min_lat_ns(&mut p2, &b2, 64, |p, t, b, l| {
+            p.dma_read(t, b, 0, l, DmaPath::CommandIf)
+        });
+        assert!(
+            (cmdif - netfpga).abs() < 60.0,
+            "cmdif {cmdif} vs netfpga {netfpga}"
+        );
+    }
+
+    #[test]
+    fn nfp_gap_widens_with_transfer_size() {
+        let (mut p1, b1) = netfpga_platform();
+        let (mut p2, b2) = nfp_platform();
+        p1.host.host_warm(&b1, 0, 8 * 1024);
+        p2.host.host_warm(&b2, 0, 8 * 1024);
+        let f = |p: &mut Platform, t: SimTime, b: &HostBuffer, l: u32| {
+            p.dma_read(t, b, 0, l, DmaPath::DmaEngine)
+        };
+        let gap_small = min_lat_ns(&mut p2, &b2, 64, f) - min_lat_ns(&mut p1, &b1, 64, f);
+        let gap_large = min_lat_ns(&mut p2, &b2, 2048, f) - min_lat_ns(&mut p1, &b1, 2048, f);
+        assert!(
+            gap_large > gap_small + 200.0,
+            "gap must widen: {gap_small} -> {gap_large}"
+        );
+    }
+
+    #[test]
+    fn wrrd_slower_than_rd() {
+        let (mut p, buf) = netfpga_platform();
+        p.host.host_warm(&buf, 0, 8 * 1024);
+        let rd = min_lat_ns(&mut p, &buf, 64, |p, t, b, l| {
+            p.dma_read(t, b, 0, l, DmaPath::DmaEngine)
+        });
+        let (mut p2, buf2) = netfpga_platform();
+        p2.host.host_warm(&buf2, 0, 8 * 1024);
+        let wrrd = min_lat_ns(&mut p2, &buf2, 64, |p, t, b, l| {
+            p.dma_write_read(t, b, 0, l, DmaPath::DmaEngine)
+        });
+        assert!(wrrd > rd, "WRRD {wrrd} must exceed RD {rd}");
+        assert!(wrrd < rd * 2.5, "but not absurdly: {wrrd} vs {rd}");
+    }
+
+    #[test]
+    fn closed_loop_read_bandwidth_is_tag_limited_on_nfp() {
+        let (mut p, buf) = nfp_platform();
+        p.host.host_warm(&buf, 0, 8 * 1024);
+        let n = 20_000u32;
+        let mut last = SimTime::ZERO;
+        for i in 0..n {
+            let off = ((i as u64 * 64) % (8 * 1024 - 64)) & !63;
+            let r = p.dma_read(SimTime::ZERO, &buf, off, 64, DmaPath::DmaEngine);
+            last = last.max(r.done);
+        }
+        let gbps = (n as f64 * 64.0 * 8.0) / last.as_secs_f64() / 1e9;
+        // §6.4: 64B DMA reads ≈ 32 Gb/s warm/local on the NFP.
+        assert!((25.0..38.0).contains(&gbps), "NFP 64B BW_RD = {gbps} Gb/s");
+    }
+
+    #[test]
+    fn netfpga_read_bandwidth_approaches_model() {
+        let (mut p, buf) = netfpga_platform();
+        p.host.host_warm(&buf, 0, 8 * 1024);
+        let n = 20_000u32;
+        let mut last = SimTime::ZERO;
+        for i in 0..n {
+            let off = ((i as u64 * 64) % (8 * 1024 - 64)) & !63;
+            let r = p.dma_read(SimTime::ZERO, &buf, off, 64, DmaPath::DmaEngine);
+            last = last.max(r.done);
+        }
+        let gbps = (n as f64 * 64.0 * 8.0) / last.as_secs_f64() / 1e9;
+        let model = pcie_model::bandwidth::read_bandwidth(&LinkConfig::gen3_x8(), 64) / 1e9;
+        assert!(
+            gbps > model * 0.85 && gbps <= model * 1.05,
+            "NetFPGA {gbps} Gb/s vs model {model}"
+        );
+    }
+
+    #[test]
+    fn write_bandwidth_near_model() {
+        let (mut p, buf) = netfpga_platform();
+        let n = 20_000u32;
+        let mut last = SimTime::ZERO;
+        for i in 0..n {
+            let off = ((i as u64 * 256) % (8 * 1024 - 256)) & !63;
+            let r = p.dma_write(SimTime::ZERO, &buf, off, 256, DmaPath::DmaEngine);
+            last = last.max(r.done);
+        }
+        // Account absorption drain of the final writes.
+        let gbps = (n as f64 * 256.0 * 8.0) / last.as_secs_f64() / 1e9;
+        let model = pcie_model::bandwidth::write_bandwidth(&LinkConfig::gen3_x8(), 256) / 1e9;
+        assert!(
+            (gbps - model).abs() / model < 0.12,
+            "BW_WR 256B {gbps} vs model {model}"
+        );
+    }
+
+    #[test]
+    fn pio_round_trip() {
+        let (mut p, _) = netfpga_platform();
+        let w = p.pio_write(SimTime::ZERO, 4);
+        assert!(w > SimTime::from_ns(150), "at least propagation");
+        let r = p.pio_read(SimTime::ZERO, 4);
+        assert!(r > w, "read round trip exceeds write one-way");
+    }
+
+    #[test]
+    fn device_warm_populates_ddio() {
+        let (mut p, buf) = netfpga_platform();
+        p.device_warm(&buf, 0, 4096, 256);
+        let stats = p.host.cache_stats(0);
+        assert!(stats.write_allocs > 0);
+        // Lines now resident: a read hits.
+        let mut now = SimTime::from_ms(1);
+        let r = p.dma_read(now, &buf, 0, 64, DmaPath::DmaEngine);
+        now = r.done;
+        let _ = now;
+        assert!(p.host.cache_stats(0).read_hits > 0);
+    }
+
+    #[test]
+    fn config_cycles_travel_the_link() {
+        let (mut p, _) = netfpga_platform();
+        let (t, id) = p.cfg_read(SimTime::ZERO, 0);
+        assert_eq!(id & 0xffff, 0x19ee, "vendor id over the wire");
+        assert!(t > SimTime::from_ns(300), "two link traversals + device");
+        let done = p.cfg_write(t, 0x04 / 4, 0x6); // enable memory + bus master
+        assert!(done > t);
+        assert_eq!(p.link().counters(Direction::Downstream).tlps, 2);
+        assert_eq!(p.link().counters(Direction::Upstream).tlps, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "command interface max")]
+    fn cmdif_rejects_large_transfers() {
+        let (mut p, buf) = nfp_platform();
+        p.dma_read(SimTime::ZERO, &buf, 0, 512, DmaPath::CommandIf);
+    }
+}

@@ -1,0 +1,151 @@
+//! Host DMA buffers.
+//!
+//! The benchmarks DMA into a logically contiguous host buffer
+//! (paper §4, Figure 3). The kernel drivers behind the two real
+//! implementations allocate it either as 4 MiB physically-contiguous
+//! chunks (NFP) or from 1 GiB hugetlbfs pages (NetFPGA); in both cases
+//! the device sees a contiguous DMA (IOVA) range, which is what this
+//! type represents. Buffers carry their NUMA placement, and their base
+//! addresses are cache-line aligned.
+
+use crate::cache::LINE;
+
+/// A contiguous DMA-addressable host buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostBuffer {
+    base: u64,
+    len: u64,
+    node: usize,
+}
+
+impl HostBuffer {
+    /// Creates a buffer descriptor. `base` must be cache-line aligned.
+    pub fn new(base: u64, len: u64, node: usize) -> Self {
+        assert!(base.is_multiple_of(LINE), "buffer base must be 64B aligned");
+        assert!(len > 0, "empty buffer");
+        HostBuffer { base, len, node }
+    }
+
+    /// Base DMA address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Always false (buffers are non-empty by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// NUMA node holding the memory.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Absolute address of byte `offset`.
+    ///
+    /// # Panics
+    /// If `offset >= len`.
+    pub fn addr(&self, offset: u64) -> u64 {
+        assert!(offset < self.len, "offset {offset} out of buffer");
+        self.base + offset
+    }
+
+    /// Whether `[addr, addr+len)` lies entirely inside the buffer.
+    pub fn contains(&self, addr: u64, len: u32) -> bool {
+        addr >= self.base && addr + len as u64 <= self.base + self.len
+    }
+
+    /// Iterates the cache-line base addresses covering
+    /// `[offset, offset+len)`.
+    pub fn lines(&self, offset: u64, len: u32) -> impl Iterator<Item = u64> {
+        let start = (self.base + offset) / LINE;
+        let end = (self.base + offset + len.max(1) as u64 - 1) / LINE;
+        (start..=end).map(|l| l * LINE)
+    }
+}
+
+/// A trivial bump allocator handing out buffer ranges, mimicking the
+/// kernel drivers' chunked allocations: each allocation is aligned to
+/// `align` (4 MiB by default, the NFP driver's chunk size).
+#[derive(Debug, Clone)]
+pub struct BufferAllocator {
+    next: u64,
+    align: u64,
+}
+
+impl BufferAllocator {
+    /// Starts allocating at `base` with `align`-byte alignment.
+    pub fn new(base: u64, align: u64) -> Self {
+        assert!(align.is_power_of_two() && align >= LINE);
+        BufferAllocator {
+            next: base.next_multiple_of(align),
+            align,
+        }
+    }
+
+    /// Default: allocations start at 4 GiB (clear of low memory), in
+    /// 4 MiB-aligned chunks.
+    pub fn default_layout() -> Self {
+        BufferAllocator::new(4 << 30, 4 << 20)
+    }
+
+    /// Allocates `len` bytes on `node`.
+    pub fn alloc(&mut self, len: u64, node: usize) -> HostBuffer {
+        let base = self.next;
+        self.next = (base + len).next_multiple_of(self.align);
+        HostBuffer::new(base, len, node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addressing() {
+        let b = HostBuffer::new(0x10000, 4096, 1);
+        assert_eq!(b.addr(0), 0x10000);
+        assert_eq!(b.addr(4095), 0x10FFF);
+        assert_eq!(b.node(), 1);
+        assert!(b.contains(0x10000, 4096));
+        assert!(!b.contains(0x10000, 4097));
+        assert!(!b.contains(0xFFFF, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of buffer")]
+    fn oob_offset_panics() {
+        HostBuffer::new(0, 64, 0).addr(64);
+    }
+
+    #[test]
+    fn line_iteration() {
+        let b = HostBuffer::new(0x1000, 4096, 0);
+        // 64B aligned access covers exactly one line.
+        assert_eq!(b.lines(0, 64).count(), 1);
+        // 64B at offset 32 straddles two lines.
+        let lines: Vec<u64> = b.lines(32, 64).collect();
+        assert_eq!(lines, vec![0x1000, 0x1040]);
+        // 256B aligned = 4 lines.
+        assert_eq!(b.lines(256, 256).count(), 4);
+        // zero-length treated as a single byte probe.
+        assert_eq!(b.lines(0, 0).count(), 1);
+    }
+
+    #[test]
+    fn allocator_alignment_and_disjointness() {
+        let mut a = BufferAllocator::new(0, 1 << 20);
+        let b1 = a.alloc(100, 0);
+        let b2 = a.alloc(5 << 20, 1);
+        let b3 = a.alloc(64, 0);
+        assert_eq!(b1.base() % (1 << 20), 0);
+        assert_eq!(b2.base() % (1 << 20), 0);
+        assert!(b1.base() + b1.len() <= b2.base());
+        assert!(b2.base() + b2.len() <= b3.base());
+    }
+}

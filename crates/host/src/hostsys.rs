@@ -1,0 +1,519 @@
+//! The assembled host system: root complex + IOMMU + caches + DRAM +
+//! interconnect.
+//!
+//! [`HostSystem`] is the completer the device layer talks to. For each
+//! inbound memory-request TLP it:
+//!
+//! 1. passes the request through the root-complex service pipe (a
+//!    throughput bound of one TLP per `rc_service_gap`, plus a
+//!    pipeline latency),
+//! 2. enforces PCIe ordering (reads do not pass posted writes),
+//! 3. translates the address if the IOMMU is enabled (IO-TLB hit or
+//!    page walk),
+//! 4. pays the interconnect if the buffer lives on the remote node,
+//! 5. looks up every touched cache line in that node's LLC, falling
+//!    through to DRAM on misses (reads) or applying DDIO allocation
+//!    rules (writes),
+//! 6. adds the preset's per-transaction jitter (reads).
+//!
+//! The return value is the instant the data is ready (reads) or the
+//! write is absorbed far enough to release its flow-control credits
+//! (writes). Everything else — serialisation, completions, tag
+//! management — belongs to the link and device layers.
+
+use crate::buffer::HostBuffer;
+use crate::cache::{LlcCache, ReadOutcome, WriteOutcome, LINE};
+use crate::dram::Dram;
+use crate::iommu::Iommu;
+use crate::presets::HostPreset;
+use pcie_sim::{SimTime, SplitMix64, Timeline};
+use std::collections::HashMap;
+
+/// Aggregate host-side statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Read TLPs served.
+    pub read_tlps: u64,
+    /// Write TLPs absorbed.
+    pub write_tlps: u64,
+    /// Bytes read by the device.
+    pub bytes_read: u64,
+    /// Bytes written by the device.
+    pub bytes_written: u64,
+    /// TLPs that crossed the socket interconnect.
+    pub remote_tlps: u64,
+}
+
+struct Node {
+    cache: LlcCache,
+    dram: Dram,
+}
+
+/// A complete host-side model, built from a [`HostPreset`].
+pub struct HostSystem {
+    preset: HostPreset,
+    nodes: Vec<Node>,
+    iommu: Option<Iommu>,
+    rc: Timeline,
+    /// PCIe ordering: a read must observe earlier posted writes to the
+    /// same data. Tracked per cache line (address-overlap), which is
+    /// the observable subset of the spec's stream ordering: the
+    /// simulator issues transactions out of arrival order, so a global
+    /// fence would order reads behind writes that *arrive later*.
+    line_fences: HashMap<u64, SimTime>,
+    rng: SplitMix64,
+    /// Socket interconnect (remote-node traffic serialises through it).
+    interconnect: Timeline,
+    /// Arrival time of the most recent read TLP (idle detection for
+    /// the wake-jitter model).
+    last_read_arrival: SimTime,
+    /// Node the PCIe device hangs off (node 0 by convention).
+    device_node: usize,
+    stats: MemStats,
+}
+
+impl HostSystem {
+    /// Builds a host from a preset with a deterministic RNG seed.
+    pub fn new(preset: HostPreset, seed: u64) -> Self {
+        let nodes = (0..preset.numa_nodes)
+            .map(|_| Node {
+                cache: LlcCache::new(preset.llc_bytes, preset.llc_ways, preset.ddio_ways),
+                dram: Dram::asymmetric(
+                    preset.lat.dram_extra,
+                    preset.lat.dram_line_service,
+                    preset.lat.dram_write_line_service,
+                ),
+            })
+            .collect();
+        HostSystem {
+            preset,
+            nodes,
+            iommu: None,
+            rc: Timeline::new(),
+            line_fences: HashMap::new(),
+            rng: SplitMix64::new(seed),
+            interconnect: Timeline::new(),
+            last_read_arrival: SimTime::ZERO,
+            device_node: 0,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The preset this host was built from.
+    pub fn preset(&self) -> &HostPreset {
+        &self.preset
+    }
+
+    /// Enables (or disables) the IOMMU.
+    pub fn set_iommu(&mut self, iommu: Option<Iommu>) {
+        self.iommu = iommu;
+    }
+
+    /// Read-only access to the IOMMU (statistics).
+    pub fn iommu(&self) -> Option<&Iommu> {
+        self.iommu.as_ref()
+    }
+
+    /// The node the device is attached to.
+    pub fn device_node(&self) -> usize {
+        self.device_node
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Cache statistics of `node`.
+    pub fn cache_stats(&self, node: usize) -> crate::cache::CacheStats {
+        self.nodes[node].cache.stats()
+    }
+
+    /// DRAM traffic (lines read, lines written) of `node`.
+    pub fn dram_traffic(&self, node: usize) -> (u64, u64) {
+        self.nodes[node].dram.traffic()
+    }
+
+    /// Accumulated busy time of the root-complex service pipe.
+    pub fn rc_busy_time(&self) -> SimTime {
+        self.rc.busy_time()
+    }
+
+    /// When the root-complex service pipe next idles.
+    pub fn rc_busy_until(&self) -> SimTime {
+        self.rc.busy_until()
+    }
+
+    fn is_remote(&self, node: usize) -> bool {
+        node != self.device_node
+    }
+
+    /// Warms the LLC of `buf`'s node from the CPU side over
+    /// `[offset, offset+len)` ("host warm", §4).
+    pub fn host_warm(&mut self, buf: &HostBuffer, offset: u64, len: u64) {
+        let cache = &mut self.nodes[buf.node()].cache;
+        let start = buf.addr(offset) / LINE;
+        let end = (buf.addr(offset) + len - 1) / LINE;
+        for line in start..=end {
+            cache.host_touch(line * LINE, true);
+        }
+    }
+
+    /// Makes all caches cold ("thrash", §4). We model the thrash as
+    /// invalidation: observable DMA behaviour is identical and the
+    /// thrash traffic itself is not part of any measurement.
+    pub fn thrash_caches(&mut self) {
+        for n in &mut self.nodes {
+            n.cache.clear();
+        }
+    }
+
+    /// Serves an inbound memory-read TLP for `[addr, addr+len)` within
+    /// `buf`. Returns the instant the read data is available at the
+    /// root complex (ready to be serialised downstream).
+    pub fn process_read_tlp(
+        &mut self,
+        now: SimTime,
+        buf: &HostBuffer,
+        addr: u64,
+        len: u32,
+    ) -> SimTime {
+        self.process_read_tlp_in(now, 0, buf, addr, len)
+    }
+
+    /// [`HostSystem::process_read_tlp`] with an explicit IOMMU
+    /// protection domain (multi-device setups: one domain per device).
+    pub fn process_read_tlp_in(
+        &mut self,
+        now: SimTime,
+        domain: u32,
+        buf: &HostBuffer,
+        addr: u64,
+        len: u32,
+    ) -> SimTime {
+        debug_assert!(buf.contains(addr, len), "read outside buffer");
+        self.stats.read_tlps += 1;
+        self.stats.bytes_read += len as u64;
+        let lat = self.preset.lat;
+
+        // 1. Root-complex service pipe + pipeline latency.
+        let entry = self.rc.reserve(now, lat.rc_service_gap).start;
+        let mut t = entry + lat.rc_latency;
+        // 2. Ordering: reads do not pass posted writes to the same data.
+        {
+            let first = addr / LINE;
+            let last = (addr + len.max(1) as u64 - 1) / LINE;
+            for line in first..=last {
+                if let Some(&f) = self.line_fences.get(&line) {
+                    t = t.max(f);
+                }
+            }
+        }
+        // 3. Translation.
+        if let Some(iommu) = &mut self.iommu {
+            t = iommu.translate_in(t, domain, addr, len).ready_at;
+        }
+        // 4. NUMA: remote buffers pay the interconnect both ways, and
+        //    serialise through its finite packetisation rate.
+        let remote = self.is_remote(buf.node());
+        if remote {
+            self.stats.remote_tlps += 1;
+            t = self.interconnect.reserve(t, lat.interconnect_gap).end + lat.interconnect_oneway;
+        }
+        // 5. Memory: LLC hit or DRAM fill per line.
+        let node = &mut self.nodes[buf.node()];
+        let first = addr / LINE;
+        let last = (addr + len.max(1) as u64 - 1) / LINE;
+        let mut missing = 0u32;
+        for line in first..=last {
+            if node.cache.dma_read(line * LINE) == ReadOutcome::Miss {
+                missing += 1;
+            }
+        }
+        let mut done = t + lat.llc_latency;
+        if missing > 0 {
+            done = done.max(node.dram.read(t + lat.llc_latency, missing));
+        }
+        if remote {
+            done += lat.interconnect_oneway;
+        }
+        // 6. Observed jitter: the full (wake-inclusive) distribution
+        //    if the root complex sat idle before this transaction, the
+        //    busy distribution under back-to-back load.
+        let idle = now.saturating_sub(self.last_read_arrival) > SimTime::from_ns(200);
+        self.last_read_arrival = now;
+        let model = if idle {
+            &self.preset.jitter
+        } else {
+            &self.preset.busy_jitter
+        };
+        done += model.sample(&mut self.rng);
+        done
+    }
+
+    /// Absorbs an inbound memory-write TLP. Returns the instant the
+    /// write is absorbed (its flow-control credits can be released and
+    /// later reads are ordered after it).
+    pub fn process_write_tlp(
+        &mut self,
+        now: SimTime,
+        buf: &HostBuffer,
+        addr: u64,
+        len: u32,
+    ) -> SimTime {
+        self.process_write_tlp_in(now, 0, buf, addr, len)
+    }
+
+    /// [`HostSystem::process_write_tlp`] with an explicit IOMMU
+    /// protection domain.
+    pub fn process_write_tlp_in(
+        &mut self,
+        now: SimTime,
+        domain: u32,
+        buf: &HostBuffer,
+        addr: u64,
+        len: u32,
+    ) -> SimTime {
+        debug_assert!(buf.contains(addr, len), "write outside buffer");
+        self.stats.write_tlps += 1;
+        self.stats.bytes_written += len as u64;
+        let lat = self.preset.lat;
+
+        let entry = self.rc.reserve(now, lat.rc_service_gap).start;
+        let mut t = entry + lat.rc_latency;
+        if let Some(iommu) = &mut self.iommu {
+            t = iommu.translate_in(t, domain, addr, len).ready_at;
+        }
+        // §6.4: "we believe that all DMA Writes may be initially
+        // handled by the local DDIO cache" — writes are absorbed by the
+        // device-local LLC when DDIO exists, so locality does not
+        // affect write performance. Without DDIO, the write crosses to
+        // the buffer's home node.
+        let has_ddio = self.preset.ddio_ways > 0;
+        let target = if has_ddio {
+            self.device_node
+        } else {
+            buf.node()
+        };
+        let remote = self.is_remote(target);
+        if remote {
+            self.stats.remote_tlps += 1;
+            t = self.interconnect.reserve(t, lat.interconnect_gap).end + lat.interconnect_oneway;
+        }
+        let node = &mut self.nodes[target];
+        let first = addr / LINE;
+        let last = (addr + len.max(1) as u64 - 1) / LINE;
+        let mut dirty_evictions = 0u32;
+        let mut uncached = 0u32;
+        for line in first..=last {
+            match node.cache.dma_write(line * LINE) {
+                WriteOutcome::Hit | WriteOutcome::Allocated => {}
+                WriteOutcome::AllocatedDirtyEviction => dirty_evictions += 1,
+                WriteOutcome::Uncached => uncached += 1,
+            }
+        }
+        let mut done = t + lat.llc_latency;
+        if dirty_evictions > 0 {
+            // The victim lines must be flushed before the write lands —
+            // the paper's ~70ns penalty (§6.3). The flush starts after
+            // the LLC lookup picked the victim, and occupies the DRAM
+            // channel.
+            done = done.max(node.dram.write(t + lat.llc_latency, dirty_evictions));
+        }
+        if uncached > 0 {
+            // No DDIO: the write itself goes to memory.
+            done = done.max(node.dram.write(t + lat.llc_latency, uncached));
+        }
+        for line in first..=last {
+            let e = self.line_fences.entry(line).or_insert(SimTime::ZERO);
+            *e = (*e).max(done);
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferAllocator;
+    use crate::presets::HostPreset;
+
+    fn host() -> (HostSystem, HostBuffer) {
+        let mut alloc = BufferAllocator::default_layout();
+        let buf = alloc.alloc(1 << 20, 0);
+        (HostSystem::new(HostPreset::netfpga_hsw(), 7), buf)
+    }
+
+    /// Strip jitter by measuring many samples and taking the minimum.
+    /// `now` carries the time base forward across calls so earlier
+    /// measurements never leave the root complex "busy in the future".
+    fn min_read_ns_at(
+        h: &mut HostSystem,
+        buf: &HostBuffer,
+        addr: u64,
+        len: u32,
+        now: &mut SimTime,
+    ) -> f64 {
+        let mut best = f64::MAX;
+        for _ in 0..64 {
+            *now += SimTime::from_us(10);
+            let done = h.process_read_tlp(*now, buf, addr, len);
+            best = best.min((done - *now).as_ns_f64());
+        }
+        best
+    }
+
+    fn min_read_ns(h: &mut HostSystem, buf: &HostBuffer, addr: u64, len: u32) -> f64 {
+        let mut now = SimTime::ZERO;
+        min_read_ns_at(h, buf, addr, len, &mut now)
+    }
+
+    #[test]
+    fn warm_read_faster_than_cold_by_dram_extra() {
+        let (mut h, buf) = host();
+        let mut now = SimTime::ZERO;
+        let cold = min_read_ns_at(&mut h, &buf, buf.base(), 64, &mut now);
+        h.host_warm(&buf, 0, 4096);
+        let warm = min_read_ns_at(&mut h, &buf, buf.base(), 64, &mut now);
+        // The paper's ~70ns LLC-vs-DRAM difference (§6.3).
+        assert!(
+            (cold - warm - 70.0).abs() < 8.0,
+            "cold {cold} vs warm {warm}"
+        );
+    }
+
+    #[test]
+    fn read_latency_magnitude_plausible() {
+        let (mut h, buf) = host();
+        h.host_warm(&buf, 0, 4096);
+        let warm = min_read_ns(&mut h, &buf, buf.base(), 64);
+        // Host-side latency (excluding link/device) should be well
+        // under the ~450ns end-to-end figure.
+        assert!(warm > 40.0 && warm < 200.0, "warm host latency {warm}");
+    }
+
+    #[test]
+    fn rc_gap_bounds_transaction_rate() {
+        let (mut h, buf) = host();
+        // 10k simultaneous reads: entry times must be spaced by the
+        // 3ns service gap -> last completes ≥ 30us after the first.
+        let mut last = SimTime::ZERO;
+        for _ in 0..10_000 {
+            last = last.max(h.process_read_tlp(SimTime::ZERO, &buf, buf.base(), 64));
+        }
+        assert!(last >= SimTime::from_ns(3 * 9_999));
+    }
+
+    #[test]
+    fn reads_do_not_pass_writes() {
+        let (mut h, buf) = host();
+        let w = h.process_write_tlp(SimTime::ZERO, &buf, buf.base(), 64);
+        let r = h.process_read_tlp(SimTime::ZERO, &buf, buf.base(), 64);
+        assert!(r > w, "read {r} must complete after the write {w}");
+    }
+
+    #[test]
+    fn ddio_write_then_read_hits_cache() {
+        let (mut h, buf) = host();
+        h.process_write_tlp(SimTime::ZERO, &buf, buf.base(), 64);
+        let t = SimTime::from_us(1);
+        let done = h.process_read_tlp(t, &buf, buf.base(), 64);
+        let c = h.cache_stats(0);
+        assert_eq!(
+            c.read_hits, 1,
+            "DDIO-written line must be readable from LLC"
+        );
+        assert!(done > t);
+    }
+
+    #[test]
+    fn remote_access_costs_about_100ns_more() {
+        let preset = HostPreset::nfp6000_bdw();
+        let mut alloc = BufferAllocator::default_layout();
+        let local = alloc.alloc(1 << 20, 0);
+        let remote = alloc.alloc(1 << 20, 1);
+        let mut h = HostSystem::new(preset, 3);
+        let mut now = SimTime::ZERO;
+        let l = min_read_ns_at(&mut h, &local, local.base(), 64, &mut now);
+        let r = min_read_ns_at(&mut h, &remote, remote.base(), 64, &mut now);
+        assert!((r - l - 106.0).abs() < 12.0, "remote {r} vs local {l}");
+        assert!(h.stats().remote_tlps > 0);
+    }
+
+    #[test]
+    fn iommu_miss_adds_walk_latency() {
+        // Sweep 256 pages (4x the 64-entry IO-TLB) sequentially:
+        // with LRU replacement every access misses.
+        let (mut h, buf) = host();
+        h.set_iommu(Some(Iommu::intel_4k()));
+        let mut now = SimTime::ZERO;
+        let mut miss = f64::MAX;
+        for i in 0..256u64 {
+            now += SimTime::from_us(10);
+            let a = buf.base() + i * 4096;
+            let done = h.process_read_tlp(now, &buf, a, 64);
+            miss = miss.min((done - now).as_ns_f64());
+        }
+        assert_eq!(h.iommu().unwrap().stats().tlb_hits, 0);
+        // Hit path: hammer a single page (first access walks, rest hit).
+        let (mut h2, buf2) = host();
+        h2.set_iommu(Some(Iommu::intel_4k()));
+        let hit = min_read_ns(&mut h2, &buf2, buf2.base(), 64);
+        assert!(
+            miss - hit > 250.0 && miss - hit < 400.0,
+            "walk ({miss}) should cost ≈330ns over hit ({hit})"
+        );
+    }
+
+    #[test]
+    fn e3_writes_hit_dram_and_fence_reads() {
+        let preset = HostPreset::nfp6000_hsw_e3();
+        let mut alloc = BufferAllocator::default_layout();
+        let buf = alloc.alloc(1 << 20, 0);
+        let mut h = HostSystem::new(preset, 11);
+        let w = h.process_write_tlp(SimTime::ZERO, &buf, buf.base(), 64);
+        // Uncached write: pays DRAM extra latency.
+        assert!(w.as_ns_f64() > 70.0);
+        let (_, written) = h.dram_traffic(0);
+        assert_eq!(written, 1);
+        assert_eq!(h.cache_stats(0).write_uncached, 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut h, buf) = host();
+        h.process_read_tlp(SimTime::ZERO, &buf, buf.base(), 256);
+        h.process_write_tlp(SimTime::ZERO, &buf, buf.base(), 128);
+        let s = h.stats();
+        assert_eq!(s.read_tlps, 1);
+        assert_eq!(s.write_tlps, 1);
+        assert_eq!(s.bytes_read, 256);
+        assert_eq!(s.bytes_written, 128);
+        assert_eq!(s.remote_tlps, 0);
+    }
+
+    #[test]
+    fn large_window_warm_reads_eventually_miss() {
+        // Warm 32MiB (over the 15MiB LLC), then read it back: a good
+        // fraction must miss - the Figure 7 knee precondition.
+        let preset = HostPreset::netfpga_hsw();
+        let mut alloc = BufferAllocator::default_layout();
+        let buf = alloc.alloc(32 << 20, 0);
+        let mut h = HostSystem::new(preset, 5);
+        h.host_warm(&buf, 0, 32 << 20);
+        let mut t = SimTime::ZERO;
+        let step = 64 * 1024; // sample sparsely for speed
+        let mut misses = 0;
+        let n = (32 << 20) / step;
+        for i in 0..n {
+            t += SimTime::from_us(1);
+            h.process_read_tlp(t, &buf, buf.base() + i * step, 64);
+        }
+        let cs = h.cache_stats(0);
+        misses += cs.read_misses;
+        assert!(
+            misses > n / 3,
+            "expected many misses for a 2xLLC window, got {misses}/{n}"
+        );
+    }
+}

@@ -1,0 +1,273 @@
+//! IOMMU with IO-TLB and page-walk cost model.
+//!
+//! Every inbound DMA address is translated. Translations hit a small,
+//! fully-associative, LRU IO-TLB; misses pay a multi-level page-table
+//! walk and occupy the (finitely parallel) page-walk machinery. The
+//! paper infers an IO-TLB of 64 entries on Intel systems (window knee
+//! at 64 × 4 KiB = 256 KiB) and a walk cost of ≈ 330 ns (§6.5); both
+//! are parameters here, as is the page size — the paper forces 4 KiB
+//! pages with `sp_off`, and recommends super-pages (2 MiB) as the
+//! mitigation, which this model also supports.
+
+use pcie_sim::{SimTime, Timeline};
+
+/// Result of one translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// When the translated request may proceed.
+    pub ready_at: SimTime,
+    /// Whether the IO-TLB hit.
+    pub tlb_hit: bool,
+}
+
+/// IOMMU statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IommuStats {
+    /// IO-TLB hits.
+    pub tlb_hits: u64,
+    /// IO-TLB misses (page walks).
+    pub tlb_misses: u64,
+}
+
+/// The IOMMU model.
+#[derive(Debug, Clone)]
+pub struct Iommu {
+    /// Page size used for mappings (4 KiB with `sp_off`, 2 MiB with
+    /// super-pages).
+    pub page_size: u64,
+    /// IO-TLB capacity in entries (Intel: 64, inferred in §6.5).
+    pub tlb_entries: usize,
+    /// Latency of a full page-table walk (≈ 330 ns, §6.5).
+    pub walk_latency: SimTime,
+    /// Minimum spacing between walks through the walk machinery —
+    /// models the finite number of concurrent walkers.
+    pub walker_gap: SimTime,
+    /// Cost of a TLB hit.
+    pub hit_latency: SimTime,
+    /// entries as (domain, page_number, lru_stamp). The IO-TLB is
+    /// shared between all devices/domains behind the IOMMU — the
+    /// paper's §9 asks exactly whether entries are shared; on Intel
+    /// parts they are, so co-located devices evict each other.
+    tlb: Vec<(u32, u64, u64)>,
+    stamp: u64,
+    walker: Timeline,
+    stats: IommuStats,
+}
+
+impl Iommu {
+    /// Builds an IOMMU. See field docs for parameter meanings.
+    pub fn new(
+        page_size: u64,
+        tlb_entries: usize,
+        walk_latency: SimTime,
+        walker_gap: SimTime,
+        hit_latency: SimTime,
+    ) -> Self {
+        assert!(page_size.is_power_of_two() && page_size >= 4096);
+        assert!(tlb_entries > 0);
+        Iommu {
+            page_size,
+            tlb_entries,
+            walk_latency,
+            walker_gap,
+            hit_latency,
+            tlb: Vec::with_capacity(tlb_entries),
+            stamp: 0,
+            walker: Timeline::new(),
+            stats: IommuStats::default(),
+        }
+    }
+
+    /// Intel-like defaults with 4 KiB pages (the paper's `sp_off`
+    /// configuration): 64-entry IO-TLB, 330 ns walks.
+    pub fn intel_4k() -> Self {
+        Iommu::new(
+            4096,
+            64,
+            SimTime::from_ns(330),
+            SimTime::from_ns(45),
+            SimTime::from_ns(2),
+        )
+    }
+
+    /// The same IOMMU with 2 MiB super-pages — the paper's recommended
+    /// mitigation (§7): the IO-TLB then covers 128 MiB.
+    pub fn intel_superpages() -> Self {
+        Iommu::new(
+            2 * 1024 * 1024,
+            64,
+            SimTime::from_ns(330),
+            SimTime::from_ns(45),
+            SimTime::from_ns(2),
+        )
+    }
+
+    /// Address range covered by the IO-TLB.
+    pub fn tlb_reach(&self) -> u64 {
+        self.page_size * self.tlb_entries as u64
+    }
+
+    /// Translates the access `[addr, addr+len)` at time `now`, in the
+    /// default domain (single-device setups).
+    pub fn translate(&mut self, now: SimTime, addr: u64, len: u32) -> Translation {
+        self.translate_in(now, 0, addr, len)
+    }
+
+    /// Translates within an explicit protection `domain` (one per
+    /// device function). Accesses spanning a page boundary require all
+    /// translations; the returned time covers them in sequence.
+    pub fn translate_in(&mut self, now: SimTime, domain: u32, addr: u64, len: u32) -> Translation {
+        let first = addr / self.page_size;
+        let last = (addr + len.max(1) as u64 - 1) / self.page_size;
+        let mut ready = now;
+        let mut all_hit = true;
+        for page in first..=last {
+            let t = self.translate_page(ready, domain, page);
+            ready = t.ready_at;
+            all_hit &= t.tlb_hit;
+        }
+        Translation {
+            ready_at: ready,
+            tlb_hit: all_hit,
+        }
+    }
+
+    fn translate_page(&mut self, now: SimTime, domain: u32, page: u64) -> Translation {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        if let Some(entry) = self
+            .tlb
+            .iter_mut()
+            .find(|(d, p, _)| *d == domain && *p == page)
+        {
+            entry.2 = stamp;
+            self.stats.tlb_hits += 1;
+            return Translation {
+                ready_at: now + self.hit_latency,
+                tlb_hit: true,
+            };
+        }
+        // Miss: occupy the walker, pay the walk latency, install entry.
+        self.stats.tlb_misses += 1;
+        let res = self.walker.reserve(now, self.walker_gap);
+        let ready = res.start + self.walk_latency;
+        if self.tlb.len() < self.tlb_entries {
+            self.tlb.push((domain, page, stamp));
+        } else {
+            let victim = self
+                .tlb
+                .iter_mut()
+                .min_by_key(|(_, _, lru)| *lru)
+                .expect("tlb_entries > 0");
+            *victim = (domain, page, stamp);
+        }
+        Translation {
+            ready_at: ready,
+            tlb_hit: false,
+        }
+    }
+
+    /// Invalidates every IO-TLB entry of `domain` (an unmap /
+    /// domain-flush, as an OS IOMMU driver issues).
+    pub fn flush_domain(&mut self, domain: u32) {
+        self.tlb.retain(|(d, _, _)| *d != domain);
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> IommuStats {
+        self.stats
+    }
+
+    /// Flushes the IO-TLB and clears statistics/queueing.
+    pub fn reset(&mut self) {
+        self.tlb.clear();
+        self.stats = IommuStats::default();
+        self.walker.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut m = Iommu::intel_4k();
+        let t0 = m.translate(SimTime::ZERO, 0x1000, 64);
+        assert!(!t0.tlb_hit);
+        assert_eq!(t0.ready_at, SimTime::from_ns(330));
+        let t1 = m.translate(SimTime::ZERO, 0x1040, 64);
+        assert!(t1.tlb_hit, "same page");
+        assert_eq!(t1.ready_at, SimTime::from_ns(2));
+    }
+
+    #[test]
+    fn capacity_is_64_pages() {
+        let mut m = Iommu::intel_4k();
+        assert_eq!(m.tlb_reach(), 256 * 1024); // the paper's 256KiB knee
+                                               // Touch 64 distinct pages, then re-touch: all hits.
+        for p in 0..64u64 {
+            m.translate(SimTime::ZERO, p * 4096, 8);
+        }
+        let mut t = SimTime::ZERO;
+        for p in 0..64u64 {
+            let tr = m.translate(t, p * 4096, 8);
+            assert!(tr.tlb_hit, "page {p}");
+            t = tr.ready_at;
+        }
+        // 65th page evicts; a sweep over 65 pages re-misses everything.
+        m.reset();
+        for _round in 0..3 {
+            for p in 0..65u64 {
+                m.translate(SimTime::ZERO, p * 4096, 8);
+            }
+        }
+        let s = m.stats();
+        assert_eq!(s.tlb_hits, 0, "LRU + sequential sweep = pathological");
+        assert_eq!(s.tlb_misses, 3 * 65);
+    }
+
+    #[test]
+    fn page_spanning_access_translates_twice() {
+        let mut m = Iommu::intel_4k();
+        let t = m.translate(SimTime::ZERO, 4096 - 32, 64);
+        assert!(!t.tlb_hit);
+        assert_eq!(m.stats().tlb_misses, 2);
+    }
+
+    #[test]
+    fn superpages_extend_reach() {
+        let mut m = Iommu::intel_superpages();
+        assert_eq!(m.tlb_reach(), 128 * 1024 * 1024);
+        // A 64 MiB working set fits: after the first sweep, all hits.
+        let window = 64 * 1024 * 1024u64;
+        let step = 2 * 1024 * 1024u64;
+        for a in (0..window).step_by(step as usize) {
+            m.translate(SimTime::ZERO, a, 64);
+        }
+        for a in (0..window).step_by(step as usize) {
+            assert!(m.translate(SimTime::ZERO, a, 64).tlb_hit);
+        }
+    }
+
+    #[test]
+    fn walker_serialises_bursts() {
+        let mut m = Iommu::intel_4k();
+        // 10 misses arriving simultaneously: the k-th starts k*gap later.
+        let mut last = SimTime::ZERO;
+        for p in 0..10u64 {
+            let t = m.translate(SimTime::ZERO, p * 4096, 8);
+            assert!(t.ready_at > last);
+            last = t.ready_at;
+        }
+        let expect = SimTime::from_ns(9 * 45 + 330);
+        assert_eq!(last, expect);
+    }
+
+    #[test]
+    fn zero_len_translates_one_page() {
+        let mut m = Iommu::intel_4k();
+        m.translate(SimTime::ZERO, 0, 0);
+        assert_eq!(m.stats().tlb_misses, 1);
+    }
+}

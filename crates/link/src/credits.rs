@@ -1,0 +1,168 @@
+//! Flow-control credit accounting.
+//!
+//! PCIe receivers advertise buffer space as credits in three classes
+//! (posted, non-posted, completion), separately for headers (one per
+//! TLP) and data (one per 16 B). A sender must not transmit a TLP
+//! unless both the header credit and all its data credits are
+//! available. [`CreditPool`] tracks one direction's credit state; the
+//! platform layer returns credits as the receiver drains TLPs, which
+//! is how a slow root complex back-pressures a fast DMA engine.
+
+use pcie_tlp::dllp::{data_credits_for, FcClass};
+use pcie_tlp::types::TlpType;
+
+/// Credit state for one receiver (one link direction).
+#[derive(Debug, Clone)]
+pub struct CreditPool {
+    hdr_limit: [u32; 3],
+    data_limit: [u32; 3],
+    hdr_used: [u32; 3],
+    data_used: [u32; 3],
+    stalls: u64,
+}
+
+fn idx(class: FcClass) -> usize {
+    match class {
+        FcClass::Posted => 0,
+        FcClass::NonPosted => 1,
+        FcClass::Completion => 2,
+    }
+}
+
+/// The credit class a TLP consumes.
+pub fn class_of(ty: TlpType) -> FcClass {
+    match ty {
+        TlpType::MWr32 | TlpType::MWr64 => FcClass::Posted,
+        // Configuration requests are non-posted even when they carry
+        // data: a CfgWr0 is answered by a Cpl.
+        TlpType::MRd32 | TlpType::MRd64 | TlpType::CfgRd0 | TlpType::CfgWr0 => FcClass::NonPosted,
+        TlpType::Cpl | TlpType::CplD => FcClass::Completion,
+    }
+}
+
+impl CreditPool {
+    /// A pool with the given per-class header/data credit limits.
+    pub fn new(hdr: [u32; 3], data: [u32; 3]) -> Self {
+        CreditPool {
+            hdr_limit: hdr,
+            data_limit: data,
+            hdr_used: [0; 3],
+            data_used: [0; 3],
+            stalls: 0,
+        }
+    }
+
+    /// Typical root-port receiver sizing: enough posted-header credits
+    /// for a few dozen MWr TLPs, generous completion credits.
+    pub fn typical_root_port() -> Self {
+        // Header credits: P/NP/CPL; data credits in 16B units.
+        CreditPool::new([64, 64, 128], [1024, 64, 2048])
+    }
+
+    /// An effectively infinite pool (for experiments that want to
+    /// isolate other bottlenecks).
+    pub fn unlimited() -> Self {
+        CreditPool::new([u32::MAX; 3], [u32::MAX; 3])
+    }
+
+    /// Whether a TLP of `ty` with `payload_bytes` can be sent now.
+    pub fn available(&self, ty: TlpType, payload_bytes: u32) -> bool {
+        let i = idx(class_of(ty));
+        let need_data = data_credits_for(payload_bytes) as u32;
+        self.hdr_used[i] < self.hdr_limit[i]
+            && self.data_limit[i] - self.data_used[i].min(self.data_limit[i]) >= need_data
+    }
+
+    /// Consumes credits for a TLP. Returns `false` (and counts a
+    /// stall) if insufficient credits are available.
+    pub fn consume(&mut self, ty: TlpType, payload_bytes: u32) -> bool {
+        if !self.available(ty, payload_bytes) {
+            self.stalls += 1;
+            return false;
+        }
+        let i = idx(class_of(ty));
+        self.hdr_used[i] += 1;
+        self.data_used[i] += data_credits_for(payload_bytes) as u32;
+        true
+    }
+
+    /// Returns credits for a TLP the receiver has drained.
+    pub fn release(&mut self, ty: TlpType, payload_bytes: u32) {
+        let i = idx(class_of(ty));
+        assert!(self.hdr_used[i] > 0, "credit release without consume");
+        self.hdr_used[i] -= 1;
+        let d = data_credits_for(payload_bytes) as u32;
+        assert!(self.data_used[i] >= d, "data credit underflow");
+        self.data_used[i] -= d;
+    }
+
+    /// Header credits currently outstanding in `class`.
+    pub fn hdr_in_use(&self, class: FcClass) -> u32 {
+        self.hdr_used[idx(class)]
+    }
+
+    /// Number of times a send was refused for lack of credits.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consume_and_release() {
+        let mut p = CreditPool::new([2, 2, 2], [8, 8, 8]);
+        assert!(p.consume(TlpType::MWr64, 64)); // 4 data credits
+        assert!(p.consume(TlpType::MWr64, 64));
+        // Third write: header credits exhausted.
+        assert!(!p.consume(TlpType::MWr64, 16));
+        assert_eq!(p.stalls(), 1);
+        p.release(TlpType::MWr64, 64);
+        assert!(p.consume(TlpType::MWr64, 16));
+    }
+
+    #[test]
+    fn data_credits_bind_independently() {
+        let mut p = CreditPool::new([10, 10, 10], [4, 4, 4]);
+        // 64B = 4 data credits: fits exactly once.
+        assert!(p.consume(TlpType::CplD, 64));
+        assert!(!p.consume(TlpType::CplD, 16), "no data credits left");
+        p.release(TlpType::CplD, 64);
+        assert!(p.consume(TlpType::CplD, 16));
+    }
+
+    #[test]
+    fn classes_are_independent() {
+        let mut p = CreditPool::new([1, 1, 1], [100, 100, 100]);
+        assert!(p.consume(TlpType::MWr64, 4));
+        assert!(p.consume(TlpType::MRd64, 0));
+        assert!(p.consume(TlpType::CplD, 4));
+        assert!(!p.consume(TlpType::MWr32, 4));
+        assert_eq!(class_of(TlpType::MRd32), FcClass::NonPosted);
+        assert_eq!(class_of(TlpType::Cpl), FcClass::Completion);
+    }
+
+    #[test]
+    fn unlimited_never_stalls() {
+        let mut p = CreditPool::unlimited();
+        for _ in 0..10_000 {
+            assert!(p.consume(TlpType::MWr64, 4096));
+        }
+        assert_eq!(p.stalls(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "without consume")]
+    fn release_without_consume_panics() {
+        let mut p = CreditPool::typical_root_port();
+        p.release(TlpType::MWr64, 64);
+    }
+
+    #[test]
+    fn reads_need_no_data_credits() {
+        let mut p = CreditPool::new([5, 5, 5], [0, 0, 0]);
+        assert!(p.consume(TlpType::MRd64, 0));
+    }
+}

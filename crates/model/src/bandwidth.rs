@@ -1,0 +1,192 @@
+//! Effective-bandwidth computations (paper Eq. 1–3 and the curves of
+//! Figures 1 and 4).
+
+use crate::config::LinkConfig;
+use crate::mix::TransactionMix;
+
+/// Paper Eq. 1: bytes transmitted upstream for a DMA write of `sz`.
+pub fn dma_write_bytes(link: &LinkConfig, sz: u32) -> u64 {
+    assert!(sz > 0, "zero-sized DMA");
+    (sz.div_ceil(link.mps) as u64) * link.mem_hdr() as u64 + sz as u64
+}
+
+/// Paper Eq. 2: bytes transmitted upstream (requests) for a DMA read of `sz`.
+pub fn dma_read_request_bytes(link: &LinkConfig, sz: u32) -> u64 {
+    assert!(sz > 0, "zero-sized DMA");
+    (sz.div_ceil(link.mrrs) as u64) * link.mem_hdr() as u64
+}
+
+/// Paper Eq. 3: bytes received downstream (completions) for a DMA read of `sz`.
+pub fn dma_read_completion_bytes(link: &LinkConfig, sz: u32) -> u64 {
+    assert!(sz > 0, "zero-sized DMA");
+    (sz.div_ceil(link.mps) as u64) * link.cpld_hdr() as u64 + sz as u64
+}
+
+/// Effective bandwidth (bits/s of payload) for a stream of DMA writes
+/// of `sz` bytes — the `BW_WR` model curve of Figure 4(b).
+pub fn write_bandwidth(link: &LinkConfig, sz: u32) -> f64 {
+    let mut m = TransactionMix::new();
+    m.device_write(link, sz, 1.0).payload(sz);
+    m.goodput(link)
+}
+
+/// Effective bandwidth for a stream of DMA reads of `sz` bytes — the
+/// `BW_RD` model curve of Figure 4(a). Requests consume upstream
+/// bandwidth but the downstream completions are normally the
+/// bottleneck.
+pub fn read_bandwidth(link: &LinkConfig, sz: u32) -> f64 {
+    let mut m = TransactionMix::new();
+    m.device_read(link, sz, 1.0).payload(sz);
+    m.goodput(link)
+}
+
+/// Effective per-direction bandwidth for alternating DMA reads and
+/// writes of `sz` bytes — the `BW_RDWR` model curve of Figure 4(c).
+/// Each read/write *pair* moves `sz` bytes in each direction; the
+/// reported figure is the payload rate of one direction, matching the
+/// paper's plots.
+pub fn read_write_bandwidth(link: &LinkConfig, sz: u32) -> f64 {
+    let mut m = TransactionMix::new();
+    m.device_read(link, sz, 1.0)
+        .device_write(link, sz, 1.0)
+        .payload(sz);
+    m.goodput(link)
+}
+
+/// The "Effective PCIe BW" curve of Figure 1: a NIC simultaneously
+/// receiving (DMA write) and transmitting (DMA read) `sz`-byte packets,
+/// with no descriptor or doorbell overheads. Reported per direction.
+pub fn effective_bidir_bandwidth(link: &LinkConfig, sz: u32) -> f64 {
+    read_write_bandwidth(link, sz)
+}
+
+/// PCIe bandwidth required to carry `sz`-byte Ethernet frames at
+/// `line_rate` bits/s — the "40G Ethernet" reference curve in
+/// Figures 1 and 4. On the Ethernet wire each frame also occupies
+/// 20 B of preamble + inter-frame gap, so the achievable frame rate
+/// (and hence the PCIe-side payload rate) falls for small frames.
+pub fn ethernet_required_bandwidth(line_rate: f64, sz: u32) -> f64 {
+    const ETH_OVERHEAD: f64 = 20.0; // 8B preamble/SFD + 12B IFG
+    let frame_rate = line_rate / ((sz as f64 + ETH_OVERHEAD) * 8.0);
+    frame_rate * sz as f64 * 8.0
+}
+
+/// A `(transfer size, value)` series, the common shape of every figure.
+pub type Series = Vec<(u32, f64)>;
+
+/// Sweeps `f` over `sizes`, producing a plot-ready series in Gb/s.
+pub fn sweep(sizes: &[u32], mut f: impl FnMut(u32) -> f64) -> Series {
+    sizes.iter().map(|&sz| (sz, f(sz) / 1e9)).collect()
+}
+
+/// The transfer sizes used in the paper's Figure 4: powers of two from
+/// 64 B to 2048 B, with ±1 B probes around interesting boundaries.
+pub fn figure4_sizes() -> Vec<u32> {
+    let mut v = Vec::new();
+    for base in [64u32, 128, 256, 512, 1024, 1536, 2048] {
+        if base > 64 {
+            v.push(base - 1);
+        }
+        v.push(base);
+        v.push(base + 1);
+    }
+    v.sort_unstable();
+    v.dedup();
+    v.pop(); // drop 2049: the paper stops at 2048
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::gbps;
+
+    #[test]
+    fn eq1_example() {
+        let link = LinkConfig::gen3_x8();
+        // 1500B write at MPS 256: 6 TLPs -> 6*24 + 1500.
+        assert_eq!(dma_write_bytes(&link, 1500), 6 * 24 + 1500);
+        assert_eq!(dma_write_bytes(&link, 256), 24 + 256);
+        assert_eq!(dma_write_bytes(&link, 257), 2 * 24 + 257);
+    }
+
+    #[test]
+    fn eq2_eq3_example() {
+        let link = LinkConfig::gen3_x8();
+        assert_eq!(dma_read_request_bytes(&link, 1500), 3 * 24);
+        assert_eq!(dma_read_completion_bytes(&link, 1500), 6 * 20 + 1500);
+    }
+
+    #[test]
+    fn write_bw_sawtooth() {
+        let link = LinkConfig::gen3_x8();
+        // Just past each MPS boundary the efficiency dips.
+        let b256 = write_bandwidth(&link, 256);
+        let b257 = write_bandwidth(&link, 257);
+        let b512 = write_bandwidth(&link, 512);
+        assert!(b257 < b256);
+        assert!(b512 > b257);
+        // Peak write efficiency: 256/(256+24) of the TLP-layer rate.
+        let expect = link.tlp_bw() * 256.0 / 280.0;
+        assert!((b256 - expect).abs() < 1e3);
+    }
+
+    #[test]
+    fn read_bw_64b_matches_hand_calc() {
+        let link = LinkConfig::gen3_x8();
+        // 64B read: completions 84B on wire; downstream-bound.
+        let bw = gbps(read_bandwidth(&link, 64));
+        let expect = gbps(link.tlp_bw()) * 64.0 / 84.0;
+        assert!((bw - expect).abs() < 0.01, "{bw} vs {expect}");
+        // ~44 Gb/s: the reason 40GbE small-packet line rate is hard.
+        assert!(bw > 43.0 && bw < 45.5);
+    }
+
+    #[test]
+    fn rdwr_is_upstream_bound_at_small_sizes() {
+        let link = LinkConfig::gen3_x8();
+        // 64B: upstream carries MWr(88) + MRd(24) = 112B per pair;
+        // downstream CplD(84). Per-direction payload ~33 Gb/s.
+        let bw = gbps(read_write_bandwidth(&link, 64));
+        let expect = gbps(link.tlp_bw()) * 64.0 / 112.0;
+        assert!((bw - expect).abs() < 0.01, "{bw} vs {expect}");
+    }
+
+    #[test]
+    fn ethernet_reference_curve() {
+        // 64B frames at 40G: 59.5 Mpps -> 30.5 Gb/s of payload.
+        let b64 = ethernet_required_bandwidth(40e9, 64) / 1e9;
+        assert!((b64 - 30.48).abs() < 0.1, "{b64}");
+        let b1500 = ethernet_required_bandwidth(40e9, 1500) / 1e9;
+        assert!((b1500 - 39.47).abs() < 0.1, "{b1500}");
+    }
+
+    #[test]
+    fn figure4_size_grid() {
+        let sizes = figure4_sizes();
+        assert_eq!(sizes.first(), Some(&64));
+        assert_eq!(sizes.last(), Some(&2048));
+        assert!(sizes.contains(&255) && sizes.contains(&257));
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sweep_produces_gbps() {
+        let link = LinkConfig::gen3_x8();
+        let s = sweep(&[64, 128], |sz| read_bandwidth(&link, sz));
+        assert_eq!(s.len(), 2);
+        assert!(s[0].1 > 40.0 && s[0].1 < 50.0);
+    }
+
+    #[test]
+    fn larger_transfers_always_at_least_as_efficient_at_boundaries() {
+        let link = LinkConfig::gen3_x8();
+        // At MPS multiples, efficiency is monotonically non-decreasing.
+        let mut last = 0.0;
+        for k in 1..=8 {
+            let bw = write_bandwidth(&link, k * 256);
+            assert!(bw >= last);
+            last = bw;
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! PCIe link configuration and raw bandwidth budgets.
+
+use pcie_tlp::sizes::TlpOverheads;
+
+/// PCIe generations and their per-lane signalling properties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PcieGen {
+    /// Gen 1: 2.5 GT/s, 8b/10b encoding.
+    Gen1,
+    /// Gen 2: 5.0 GT/s, 8b/10b encoding.
+    Gen2,
+    /// Gen 3: 8.0 GT/s, 128b/130b encoding (the paper's subject).
+    Gen3,
+    /// Gen 4: 16 GT/s, 128b/130b encoding.
+    Gen4,
+    /// Gen 5: 32 GT/s, 128b/130b encoding.
+    Gen5,
+}
+
+impl PcieGen {
+    /// Raw signalling rate per lane, in transfers (bits) per second.
+    pub fn gts(self) -> f64 {
+        match self {
+            PcieGen::Gen1 => 2.5e9,
+            PcieGen::Gen2 => 5.0e9,
+            PcieGen::Gen3 => 8.0e9,
+            PcieGen::Gen4 => 16.0e9,
+            PcieGen::Gen5 => 32.0e9,
+        }
+    }
+
+    /// Line-coding efficiency: 8b/10b for Gen 1/2, 128b/130b after.
+    pub fn encoding_efficiency(self) -> f64 {
+        match self {
+            PcieGen::Gen1 | PcieGen::Gen2 => 8.0 / 10.0,
+            _ => 128.0 / 130.0,
+        }
+    }
+
+    /// Usable physical-layer bits per second per lane.
+    pub fn lane_bw(self) -> f64 {
+        self.gts() * self.encoding_efficiency()
+    }
+}
+
+/// A complete link configuration: everything the §3 model needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// PCIe generation.
+    pub gen: PcieGen,
+    /// Number of lanes (x1, x4, x8, x16, ...).
+    pub lanes: u32,
+    /// Maximum Payload Size in bytes (negotiated; typically 256 or 512).
+    pub mps: u32,
+    /// Maximum Read Request Size in bytes (typically 512).
+    pub mrrs: u32,
+    /// Read Completion Boundary in bytes (typically 64).
+    pub rcb: u32,
+    /// Whether requests use 64-bit (4DW) addressing.
+    pub addr64: bool,
+    /// Per-TLP overhead constants (framing, DLL header, ECRC, DLLP size).
+    pub overheads: TlpOverheads,
+    /// Fraction of physical bandwidth left after data-link-layer
+    /// traffic (flow control + ACK DLLPs). The paper derives
+    /// 57.88 Gb/s from 62.96 Gb/s for Gen 3 x8 using the spec's
+    /// recommended values — a factor of ≈ 0.919 — and notes the model
+    /// "slightly overestimates" DLL impact for uni-directional traffic.
+    pub dll_efficiency: f64,
+}
+
+impl LinkConfig {
+    /// The paper's standard configuration: Gen 3 x8, MPS 256, MRRS 512,
+    /// RCB 64, 64-bit addressing (§3, §6).
+    pub fn gen3_x8() -> Self {
+        LinkConfig {
+            gen: PcieGen::Gen3,
+            lanes: 8,
+            mps: 256,
+            mrrs: 512,
+            rcb: 64,
+            addr64: true,
+            overheads: TlpOverheads::default(),
+            dll_efficiency: 0.9187,
+        }
+    }
+
+    /// A Gen 4 x16 configuration (the paper's "future hardware" case).
+    pub fn gen4_x16() -> Self {
+        LinkConfig {
+            gen: PcieGen::Gen4,
+            lanes: 16,
+            mps: 512,
+            mrrs: 512,
+            rcb: 64,
+            addr64: true,
+            overheads: TlpOverheads::default(),
+            dll_efficiency: 0.9187,
+        }
+    }
+
+    /// Physical-layer bandwidth in bits per second
+    /// (62.96 Gb/s for Gen 3 x8, §1 of the paper).
+    pub fn phys_bw(&self) -> f64 {
+        self.gen.lane_bw() * self.lanes as f64
+    }
+
+    /// Bandwidth available to TLPs after DLL overhead, in bits/s
+    /// (≈ 57.88 Gb/s for Gen 3 x8, §3).
+    pub fn tlp_bw(&self) -> f64 {
+        self.phys_bw() * self.dll_efficiency
+    }
+
+    /// Per-TLP overhead of a memory request in bytes
+    /// (`MWr_Hdr`/`MRd_Hdr` = 24 B with 64-bit addressing).
+    pub fn mem_hdr(&self) -> u32 {
+        self.overheads.mem_hdr_bytes(self.addr64)
+    }
+
+    /// Per-TLP overhead of a completion-with-data in bytes
+    /// (`CplD_Hdr` = 20 B).
+    pub fn cpld_hdr(&self) -> u32 {
+        self.overheads.cpld_hdr_bytes()
+    }
+
+    /// Validates invariants the model (and spec) assume.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.lanes == 0 || !self.lanes.is_power_of_two() || self.lanes > 32 {
+            return Err(format!(
+                "lanes must be a power of two in [1,32]: {}",
+                self.lanes
+            ));
+        }
+        for (name, v) in [("MPS", self.mps), ("MRRS", self.mrrs)] {
+            if !(128..=4096).contains(&v) || !v.is_power_of_two() {
+                return Err(format!("{name} must be a power of two in [128,4096]: {v}"));
+            }
+        }
+        if !self.rcb.is_power_of_two() || !self.mps.is_multiple_of(self.rcb) {
+            return Err(format!("RCB {} must divide MPS {}", self.rcb, self.mps));
+        }
+        if !(0.5..=1.0).contains(&self.dll_efficiency) {
+            return Err(format!(
+                "implausible DLL efficiency {}",
+                self.dll_efficiency
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self::gen3_x8()
+    }
+}
+
+/// Convenience: bits/s → Gb/s for reporting.
+pub fn gbps(bits_per_sec: f64) -> f64 {
+    bits_per_sec / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen3_x8_matches_paper_budgets() {
+        let l = LinkConfig::gen3_x8();
+        // "8 lanes ... 8 x 7.87 Gb/s = 62.96 Gb/s at the physical layer"
+        let phys = gbps(l.phys_bw());
+        assert!((phys - 62.96).abs() < 0.1, "phys = {phys}");
+        // "leaving around 57.88 Gb/s available at the TLP layer"
+        let tlp = gbps(l.tlp_bw());
+        assert!((tlp - 57.88).abs() < 0.1, "tlp = {tlp}");
+        l.validate().unwrap();
+    }
+
+    #[test]
+    fn header_constants() {
+        let l = LinkConfig::gen3_x8();
+        assert_eq!(l.mem_hdr(), 24);
+        assert_eq!(l.cpld_hdr(), 20);
+    }
+
+    #[test]
+    fn gen_scaling() {
+        assert!((PcieGen::Gen1.lane_bw() - 2.0e9).abs() < 1e6);
+        assert!((PcieGen::Gen2.lane_bw() - 4.0e9).abs() < 1e6);
+        assert!(PcieGen::Gen4.lane_bw() > 2.0 * PcieGen::Gen3.lane_bw() * 0.99);
+        assert!(PcieGen::Gen5.lane_bw() > 2.0 * PcieGen::Gen4.lane_bw() * 0.99);
+    }
+
+    #[test]
+    fn gen4_x16_budget() {
+        let l = LinkConfig::gen4_x16();
+        // 16 GT/s * 128/130 * 16 lanes = 252 Gb/s.
+        assert!((gbps(l.phys_bw()) - 252.06).abs() < 0.5);
+        l.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut l = LinkConfig::gen3_x8();
+        l.lanes = 3;
+        assert!(l.validate().is_err());
+        let mut l = LinkConfig::gen3_x8();
+        l.mps = 100;
+        assert!(l.validate().is_err());
+        let mut l = LinkConfig::gen3_x8();
+        l.rcb = 96;
+        assert!(l.validate().is_err());
+        let mut l = LinkConfig::gen3_x8();
+        l.dll_efficiency = 1.5;
+        assert!(l.validate().is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! # pcie-model — the paper's analytical PCIe model (§3)
+//!
+//! A faithful implementation of the PCIe performance model from
+//! *Understanding PCIe performance for end host networking*
+//! (SIGCOMM 2018):
+//!
+//! * [`config`] — link budgets: generation/lane encoding rates, the
+//!   data-link-layer efficiency derate, MPS/MRRS/RCB parameters;
+//! * [`bandwidth`] — the paper's Eq. 1–3 (bytes-on-wire for DMA reads
+//!   and writes) and effective-bandwidth sweeps, including the
+//!   saw-tooth curves of Figures 1 and 4;
+//! * [`mix`] — a transaction-mix solver: describe the PCIe
+//!   transactions a device/driver performs per unit of work (e.g. per
+//!   Ethernet packet), get the achievable rate once either link
+//!   direction saturates;
+//! * [`nic`] — the Figure 1 device/driver interaction models: the
+//!   Simple NIC, a moderately optimised NIC with a kernel driver, and
+//!   the same NIC with a DPDK-style polling driver;
+//! * [`latency`] — the §2 sizing arithmetic: how many in-flight DMAs a
+//!   device needs to hide a given PCIe latency at line rate.
+//!
+//! The model is *predictive*: `pciebench` (the measurement side of
+//! this workspace) validates the simulator against it, exactly as the
+//! paper validates hardware measurements against the model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod config;
+pub mod latency;
+pub mod mix;
+pub mod nic;
+
+pub use config::{LinkConfig, PcieGen};
+pub use mix::{Direction, TransactionMix};
+pub use nic::{NicModel, NicModelParams};

@@ -1,0 +1,220 @@
+//! The transaction-mix solver.
+//!
+//! The paper's model computes achievable throughput for a
+//! device/driver interaction pattern by accounting every PCIe
+//! transaction the pattern performs per unit of work (per packet, per
+//! request, ...) and finding the rate at which one of the two link
+//! directions saturates (§3). [`TransactionMix`] is that accounting
+//! device: add transactions, then ask for the achievable work rate.
+
+use crate::config::LinkConfig;
+
+/// A link direction, named from the device's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Device → root complex (DMA writes, read requests, interrupts).
+    Upstream,
+    /// Root complex → device (completions, PIO writes from the driver).
+    Downstream,
+}
+
+/// Accumulates the per-work-unit wire bytes in each direction.
+///
+/// All `device_*` methods describe DMA initiated by the device;
+/// `host_*` methods describe programmed I/O initiated by the driver
+/// (e.g. doorbell writes, register reads). Each method accounts the
+/// *complete* wire cost of the operation — including the read-request
+/// TLPs that flow opposite to the data.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TransactionMix {
+    upstream_bytes: f64,
+    downstream_bytes: f64,
+    /// Upstream payload bytes that are "useful work" (e.g. packet data).
+    payload_bytes: f64,
+}
+
+impl TransactionMix {
+    /// An empty mix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total wire bytes per work unit in `dir`.
+    pub fn wire_bytes(&self, dir: Direction) -> f64 {
+        match dir {
+            Direction::Upstream => self.upstream_bytes,
+            Direction::Downstream => self.downstream_bytes,
+        }
+    }
+
+    /// Adds raw wire bytes (escape hatch for custom transactions).
+    pub fn add_raw(&mut self, dir: Direction, bytes: f64) -> &mut Self {
+        match dir {
+            Direction::Upstream => self.upstream_bytes += bytes,
+            Direction::Downstream => self.downstream_bytes += bytes,
+        }
+        self
+    }
+
+    /// Device DMA-writes `sz` bytes to host memory (e.g. an RX packet,
+    /// a descriptor write-back, an interrupt vector). Paper Eq. 1:
+    /// `⌈sz/MPS⌉ × MWr_Hdr + sz` upstream bytes. A fractional `count`
+    /// expresses amortisation (e.g. one interrupt per 8 packets →
+    /// `count = 0.125`).
+    pub fn device_write(&mut self, link: &LinkConfig, sz: u32, count: f64) -> &mut Self {
+        let tlps = sz.div_ceil(link.mps) as f64;
+        self.upstream_bytes += count * (tlps * link.mem_hdr() as f64 + sz as f64);
+        self
+    }
+
+    /// Device DMA-reads `sz` bytes from host memory (e.g. a TX packet
+    /// or a batch of descriptors). Paper Eq. 2–3: requests upstream,
+    /// completions downstream.
+    pub fn device_read(&mut self, link: &LinkConfig, sz: u32, count: f64) -> &mut Self {
+        let reqs = sz.div_ceil(link.mrrs) as f64;
+        let cpls = sz.div_ceil(link.mps) as f64;
+        self.upstream_bytes += count * (reqs * link.mem_hdr() as f64);
+        self.downstream_bytes += count * (cpls * link.cpld_hdr() as f64 + sz as f64);
+        self
+    }
+
+    /// Driver writes `sz` bytes to a device register (PIO write, e.g. a
+    /// doorbell/tail-pointer update): an MWr travelling downstream.
+    pub fn host_write(&mut self, link: &LinkConfig, sz: u32, count: f64) -> &mut Self {
+        let tlps = sz.div_ceil(link.mps) as f64;
+        self.downstream_bytes += count * (tlps * link.mem_hdr() as f64 + sz as f64);
+        self
+    }
+
+    /// Driver reads `sz` bytes from a device register (PIO read, e.g. a
+    /// head-pointer poll): an MRd downstream, completion upstream.
+    pub fn host_read(&mut self, link: &LinkConfig, sz: u32, count: f64) -> &mut Self {
+        let reqs = sz.div_ceil(link.mrrs) as f64;
+        let cpls = sz.div_ceil(link.mps) as f64;
+        self.downstream_bytes += count * (reqs * link.mem_hdr() as f64);
+        self.upstream_bytes += count * (cpls * link.cpld_hdr() as f64 + sz as f64);
+        self
+    }
+
+    /// Marks `bytes` of the mix as useful payload per work unit (used
+    /// to convert a work rate into goodput).
+    pub fn payload(&mut self, bytes: u32) -> &mut Self {
+        self.payload_bytes += bytes as f64;
+        self
+    }
+
+    /// The maximum work-unit rate (units/second) before either link
+    /// direction saturates.
+    pub fn max_rate(&self, link: &LinkConfig) -> f64 {
+        let cap = link.tlp_bw(); // bits/s per direction
+        let up = self.upstream_bytes * 8.0;
+        let down = self.downstream_bytes * 8.0;
+        let up_rate = if up > 0.0 { cap / up } else { f64::INFINITY };
+        let down_rate = if down > 0.0 {
+            cap / down
+        } else {
+            f64::INFINITY
+        };
+        up_rate.min(down_rate)
+    }
+
+    /// Achievable goodput in bits/second: `max_rate × payload`.
+    pub fn goodput(&self, link: &LinkConfig) -> f64 {
+        self.max_rate(link) * self.payload_bytes * 8.0
+    }
+
+    /// Which direction limits this mix (ties → upstream).
+    pub fn bottleneck(&self) -> Direction {
+        if self.upstream_bytes >= self.downstream_bytes {
+            Direction::Upstream
+        } else {
+            Direction::Downstream
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::gbps;
+
+    #[test]
+    fn pure_write_matches_eq1() {
+        let link = LinkConfig::gen3_x8();
+        // A 512B DMA write: 2 MWr TLPs at MPS 256 -> 2*24 + 512 bytes.
+        let mut mix = TransactionMix::new();
+        mix.device_write(&link, 512, 1.0).payload(512);
+        assert!((mix.wire_bytes(Direction::Upstream) - 560.0).abs() < 1e-9);
+        assert_eq!(mix.wire_bytes(Direction::Downstream), 0.0);
+        let bw = gbps(mix.goodput(&link));
+        let expect = gbps(link.tlp_bw()) * 512.0 / 560.0;
+        assert!((bw - expect).abs() < 1e-6, "{bw} vs {expect}");
+    }
+
+    #[test]
+    fn pure_read_matches_eq2_eq3() {
+        let link = LinkConfig::gen3_x8();
+        // A 1024B DMA read: 2 MRd requests (MRRS 512) up, 4 CplD down.
+        let mut mix = TransactionMix::new();
+        mix.device_read(&link, 1024, 1.0).payload(1024);
+        assert!((mix.wire_bytes(Direction::Upstream) - 48.0).abs() < 1e-9);
+        assert!((mix.wire_bytes(Direction::Downstream) - (4.0 * 20.0 + 1024.0)).abs() < 1e-9);
+        assert_eq!(mix.bottleneck(), Direction::Downstream);
+    }
+
+    #[test]
+    fn host_read_is_mirror_of_device_read() {
+        let link = LinkConfig::gen3_x8();
+        let mut a = TransactionMix::new();
+        a.device_read(&link, 64, 1.0);
+        let mut b = TransactionMix::new();
+        b.host_read(&link, 64, 1.0);
+        assert!(
+            (a.wire_bytes(Direction::Upstream) - b.wire_bytes(Direction::Downstream)).abs() < 1e-9
+        );
+        assert!(
+            (a.wire_bytes(Direction::Downstream) - b.wire_bytes(Direction::Upstream)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn fractional_count_amortises() {
+        let link = LinkConfig::gen3_x8();
+        let mut a = TransactionMix::new();
+        a.device_write(&link, 4, 0.125);
+        let mut b = TransactionMix::new();
+        b.device_write(&link, 4, 1.0);
+        assert!(
+            (a.wire_bytes(Direction::Upstream) * 8.0 - b.wire_bytes(Direction::Upstream)).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn bidirectional_effective_bw_matches_paper_shape() {
+        // The "Effective PCIe BW" curve of Figure 1: a NIC receiving
+        // (device_write) and transmitting (device_read) sz-byte packets
+        // simultaneously. At 1024B it is ~50 Gb/s; at 64B ~33 Gb/s.
+        let link = LinkConfig::gen3_x8();
+        let eff = |sz: u32| {
+            let mut m = TransactionMix::new();
+            m.device_write(&link, sz, 1.0)
+                .device_read(&link, sz, 1.0)
+                .payload(sz);
+            gbps(m.goodput(&link))
+        };
+        let at_1024 = eff(1024);
+        assert!((at_1024 - 50.7).abs() < 1.0, "1024B: {at_1024}");
+        let at_64 = eff(64);
+        assert!((at_64 - 33.0).abs() < 1.5, "64B: {at_64}");
+        // Saw-tooth: one byte over the MPS boundary costs a whole TLP.
+        assert!(eff(257) < eff(256));
+    }
+
+    #[test]
+    fn empty_mix_is_unbounded() {
+        let link = LinkConfig::gen3_x8();
+        let mix = TransactionMix::new();
+        assert!(mix.max_rate(&link).is_infinite());
+    }
+}

@@ -1,0 +1,328 @@
+//! The Figure 1 NIC/driver interaction models.
+//!
+//! §3 of the paper walks through the PCIe transactions a NIC performs
+//! per packet and shows how device- and driver-level optimisations
+//! (descriptor batching, interrupt moderation, polled write-back
+//! descriptors) recover bandwidth lost to per-packet overheads. This
+//! module parameterises that space:
+//!
+//! * [`NicModelParams::simple`] — the paper's "Simple NIC": one
+//!   doorbell write, one descriptor fetch, one interrupt and one
+//!   register read *per packet*, in each direction;
+//! * [`NicModelParams::kernel`] — the "Modern NIC (kernel driver)":
+//!   Intel Niantic-style batching (up to 40 TX descriptors fetched per
+//!   DMA, up to 8 written back) plus interrupt moderation;
+//! * [`NicModelParams::dpdk`] — the "Modern NIC (DPDK driver)": no
+//!   interrupts and no device register reads; the driver polls
+//!   write-back descriptors in host memory.
+//!
+//! All constants are overridable, so the model can (and in the paper's
+//! words *has been*) used "to quickly assess the impact of alternatives
+//! when designing custom NIC functionality".
+
+use crate::bandwidth::ethernet_required_bandwidth;
+use crate::config::LinkConfig;
+use crate::mix::TransactionMix;
+
+/// Tunable parameters of the NIC/driver interaction model.
+///
+/// A `batch` of *n* means the relevant transaction happens once per *n*
+/// packets (with *n*-fold size for descriptor transfers); `0` disables
+/// the transaction entirely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NicModelParams {
+    /// Descriptor size in bytes (16 B on most commodity NICs).
+    pub desc_size: u32,
+    /// TX descriptors fetched per descriptor-read DMA.
+    pub tx_desc_fetch_batch: u32,
+    /// TX descriptors (or completion records) written back per DMA.
+    /// `0` = the device exposes a head-pointer register instead.
+    pub tx_desc_wb_batch: u32,
+    /// Packets per TX doorbell (tail-pointer) write.
+    pub tx_doorbell_batch: u32,
+    /// RX (freelist) descriptors fetched per descriptor-read DMA.
+    pub rx_desc_fetch_batch: u32,
+    /// RX descriptors written back per DMA (≥ 1: the device must tell
+    /// the host about received packets somehow).
+    pub rx_desc_wb_batch: u32,
+    /// Packets per RX tail-pointer write (freelist replenish batch).
+    pub rx_doorbell_batch: u32,
+    /// Packets per interrupt, per direction (`0` = interrupts disabled).
+    pub pkts_per_interrupt: u32,
+    /// Whether the driver reads device registers (queue head pointers)
+    /// to learn about completions, once per interrupt-or-poll batch.
+    pub driver_reads_registers: bool,
+}
+
+impl NicModelParams {
+    /// The paper's "Simple NIC": every interaction is per-packet.
+    pub fn simple() -> Self {
+        NicModelParams {
+            desc_size: 16,
+            tx_desc_fetch_batch: 1,
+            tx_desc_wb_batch: 0, // head pointer register + interrupt
+            tx_doorbell_batch: 1,
+            rx_desc_fetch_batch: 1,
+            rx_desc_wb_batch: 1,
+            rx_doorbell_batch: 1,
+            pkts_per_interrupt: 1,
+            driver_reads_registers: true,
+        }
+    }
+
+    /// "Modern NIC (kernel driver)": Niantic-style batching with
+    /// moderated interrupts (§3: batches of up to 40 TX descriptors
+    /// fetched, up to 8 written back).
+    pub fn kernel() -> Self {
+        NicModelParams {
+            desc_size: 16,
+            tx_desc_fetch_batch: 40,
+            tx_desc_wb_batch: 8,
+            tx_doorbell_batch: 8,
+            rx_desc_fetch_batch: 8,
+            rx_desc_wb_batch: 1,
+            rx_doorbell_batch: 8,
+            pkts_per_interrupt: 16,
+            driver_reads_registers: true,
+        }
+    }
+
+    /// Checks the batch parameters are usable: every per-packet
+    /// amortisation divisor must be at least 1 (only `tx_desc_wb_batch`
+    /// may be 0, meaning "no write-back; head-pointer register instead").
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("desc_size", self.desc_size),
+            ("tx_desc_fetch_batch", self.tx_desc_fetch_batch),
+            ("tx_doorbell_batch", self.tx_doorbell_batch),
+            ("rx_desc_fetch_batch", self.rx_desc_fetch_batch),
+            ("rx_desc_wb_batch", self.rx_desc_wb_batch),
+            ("rx_doorbell_batch", self.rx_doorbell_batch),
+        ] {
+            if v == 0 {
+                return Err(format!("{name} must be >= 1"));
+            }
+        }
+        Ok(())
+    }
+
+    /// "Modern NIC (DPDK driver)": interrupts off, no register reads,
+    /// larger doorbell batches — the driver polls write-back
+    /// descriptors in host memory (§3, footnote 6).
+    pub fn dpdk() -> Self {
+        NicModelParams {
+            desc_size: 16,
+            tx_desc_fetch_batch: 40,
+            tx_desc_wb_batch: 32,
+            tx_doorbell_batch: 32,
+            rx_desc_fetch_batch: 8,
+            rx_desc_wb_batch: 1,
+            rx_doorbell_batch: 32,
+            pkts_per_interrupt: 0,
+            driver_reads_registers: false,
+        }
+    }
+}
+
+/// A NIC model: parameters bound to a link configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NicModel {
+    /// Interaction-pattern parameters.
+    pub params: NicModelParams,
+    /// The PCIe link the NIC sits on.
+    pub link: LinkConfig,
+}
+
+impl NicModel {
+    /// Builds a model over the given link.
+    ///
+    /// # Panics
+    /// If the parameters fail [`NicModelParams::validate`].
+    pub fn new(params: NicModelParams, link: LinkConfig) -> Self {
+        params.validate().expect("invalid NIC model parameters");
+        NicModel { params, link }
+    }
+
+    /// The per-packet transaction mix for *transmitting* one `sz`-byte
+    /// packet (device reads packet data from host).
+    pub fn tx_mix(&self, sz: u32) -> TransactionMix {
+        let p = &self.params;
+        let l = &self.link;
+        let mut m = TransactionMix::new();
+        // Doorbell: driver tells the device descriptors are ready.
+        m.host_write(l, 4, 1.0 / p.tx_doorbell_batch as f64);
+        // Descriptor fetch, batched.
+        m.device_read(
+            l,
+            p.desc_size * p.tx_desc_fetch_batch,
+            1.0 / p.tx_desc_fetch_batch as f64,
+        );
+        // Packet data.
+        m.device_read(l, sz, 1.0);
+        // Completion notification: descriptor write-back, or nothing
+        // (the driver will read the head-pointer register instead).
+        if p.tx_desc_wb_batch > 0 {
+            m.device_write(
+                l,
+                p.desc_size * p.tx_desc_wb_batch,
+                1.0 / p.tx_desc_wb_batch as f64,
+            );
+        }
+        self.add_notification_overheads(&mut m);
+        m
+    }
+
+    /// The per-packet transaction mix for *receiving* one `sz`-byte
+    /// packet (device writes packet data to host).
+    pub fn rx_mix(&self, sz: u32) -> TransactionMix {
+        let p = &self.params;
+        let l = &self.link;
+        let mut m = TransactionMix::new();
+        // Freelist replenish doorbell.
+        m.host_write(l, 4, 1.0 / p.rx_doorbell_batch as f64);
+        // Freelist descriptor fetch, batched.
+        m.device_read(
+            l,
+            p.desc_size * p.rx_desc_fetch_batch,
+            1.0 / p.rx_desc_fetch_batch as f64,
+        );
+        // Packet data, then the RX descriptor write-back.
+        m.device_write(l, sz, 1.0);
+        m.device_write(
+            l,
+            p.desc_size * p.rx_desc_wb_batch,
+            1.0 / p.rx_desc_wb_batch as f64,
+        );
+        self.add_notification_overheads(&mut m);
+        m
+    }
+
+    /// Interrupt + head-pointer-read overheads shared by TX and RX.
+    fn add_notification_overheads(&self, m: &mut TransactionMix) {
+        let p = &self.params;
+        let l = &self.link;
+        if p.pkts_per_interrupt > 0 {
+            let per_pkt = 1.0 / p.pkts_per_interrupt as f64;
+            // MSI/MSI-X interrupts are 4B memory writes upstream.
+            m.device_write(l, 4, per_pkt);
+            if p.driver_reads_registers {
+                m.host_read(l, 4, per_pkt);
+            }
+        } else if p.driver_reads_registers {
+            // Polling device registers without interrupts (rare).
+            m.host_read(l, 4, 1.0);
+        }
+    }
+
+    /// Full-duplex per-packet mix (one TX + one RX of `sz` bytes) with
+    /// `sz` accounted as payload — the Figure 1 workload.
+    pub fn bidir_mix(&self, sz: u32) -> TransactionMix {
+        let mut m = self.tx_mix(sz);
+        let rx = self.rx_mix(sz);
+        use crate::mix::Direction::*;
+        m.add_raw(Upstream, rx.wire_bytes(Upstream));
+        m.add_raw(Downstream, rx.wire_bytes(Downstream));
+        m.payload(sz);
+        m
+    }
+
+    /// Achievable full-duplex throughput (payload bits/s per direction)
+    /// for `sz`-byte packets — one point on a Figure 1 curve.
+    pub fn bidir_bandwidth(&self, sz: u32) -> f64 {
+        self.bidir_mix(sz).goodput(&self.link)
+    }
+
+    /// Smallest packet size (on a 1-byte grid within `[64, 4096]`) at
+    /// which the model sustains `line_rate` Ethernet in both
+    /// directions; `None` if it never does.
+    pub fn line_rate_crossover(&self, line_rate: f64) -> Option<u32> {
+        (64..=4096)
+            .find(|&sz| self.bidir_bandwidth(sz) >= ethernet_required_bandwidth(line_rate, sz))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth::effective_bidir_bandwidth;
+    use crate::config::gbps;
+
+    fn models() -> (NicModel, NicModel, NicModel) {
+        let link = LinkConfig::gen3_x8();
+        (
+            NicModel::new(NicModelParams::simple(), link),
+            NicModel::new(NicModelParams::kernel(), link),
+            NicModel::new(NicModelParams::dpdk(), link),
+        )
+    }
+
+    #[test]
+    fn figure1_ordering_holds_everywhere() {
+        // Simple < kernel < DPDK < effective PCIe BW, at every size.
+        let (simple, kernel, dpdk) = models();
+        let link = LinkConfig::gen3_x8();
+        for sz in (64..=1280).step_by(64) {
+            let s = simple.bidir_bandwidth(sz);
+            let k = kernel.bidir_bandwidth(sz);
+            let d = dpdk.bidir_bandwidth(sz);
+            let e = effective_bidir_bandwidth(&link, sz);
+            assert!(s < k, "sz={sz}: simple {s} !< kernel {k}");
+            assert!(k < d, "sz={sz}: kernel {k} !< dpdk {d}");
+            assert!(d < e, "sz={sz}: dpdk {d} !< effective {e}");
+        }
+    }
+
+    #[test]
+    fn simple_nic_crosses_40g_near_512b() {
+        // §2: "Such a device would only achieve 40Gb/s line rate
+        // throughput for Ethernet frames larger than 512B."
+        let (simple, _, _) = models();
+        let cross = simple.line_rate_crossover(40e9).expect("must cross");
+        assert!(
+            (384..=640).contains(&cross),
+            "simple NIC crossover at {cross}B, expected ~512B"
+        );
+    }
+
+    #[test]
+    fn modern_nics_cross_earlier() {
+        let (simple, kernel, dpdk) = models();
+        let s = simple.line_rate_crossover(40e9).unwrap();
+        let k = kernel.line_rate_crossover(40e9).unwrap();
+        let d = dpdk.line_rate_crossover(40e9).unwrap();
+        assert!(k < s, "kernel {k} !< simple {s}");
+        assert!(d <= k, "dpdk {d} !<= kernel {k}");
+    }
+
+    #[test]
+    fn dpdk_close_to_effective_at_mtu() {
+        let (_, _, dpdk) = models();
+        let link = LinkConfig::gen3_x8();
+        let d = gbps(dpdk.bidir_bandwidth(1280));
+        let e = gbps(effective_bidir_bandwidth(&link, 1280));
+        assert!(e - d < 3.0, "dpdk {d} should be within 3 Gb/s of {e}");
+    }
+
+    #[test]
+    fn interrupts_cost_bandwidth() {
+        let link = LinkConfig::gen3_x8();
+        let mut p = NicModelParams::kernel();
+        let with_irq = NicModel::new(p, link).bidir_bandwidth(128);
+        p.pkts_per_interrupt = 0;
+        p.driver_reads_registers = false;
+        let without = NicModel::new(p, link).bidir_bandwidth(128);
+        assert!(without > with_irq);
+    }
+
+    #[test]
+    fn tx_and_rx_mixes_have_expected_directions() {
+        let (simple, _, _) = models();
+        use crate::mix::Direction::*;
+        let tx = simple.tx_mix(256);
+        // TX moves data downstream (completions) and requests upstream.
+        assert!(tx.wire_bytes(Downstream) > 256.0);
+        let rx = simple.rx_mix(256);
+        // RX moves data upstream.
+        assert!(rx.wire_bytes(Upstream) > 256.0);
+    }
+}

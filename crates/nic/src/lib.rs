@@ -1,0 +1,30 @@
+//! # pcie-nic — NIC and driver simulations over the PCIe substrate
+//!
+//! The paper motivates pcie-bench with two NIC-level observations:
+//! Figure 1 (device/driver interaction patterns dominate achievable
+//! throughput) and Figure 2 (PCIe dominates NIC latency). This crate
+//! reproduces both *dynamically*, on the simulated substrate, rather
+//! than analytically:
+//!
+//! * [`sim::NicSim`] executes the per-packet transaction patterns of
+//!   the Simple / kernel-driver / DPDK-driver NICs — descriptor ring
+//!   fetches, packet DMA, write-backs, doorbells, interrupts — through
+//!   a real [`pcie_device::Platform`], so contention between packet
+//!   data and bookkeeping traffic is physical rather than assumed;
+//! * [`loopback::LoopbackNic`] reproduces the ExaNIC loopback
+//!   experiment: a PIO transmit path, a MAC loop and a DMA receive
+//!   path, reporting total latency and the PCIe share of it;
+//! * [`traffic`] provides packet-size workloads (fixed sizes and a
+//!   canonical IMIX) for the examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loopback;
+pub mod ring;
+pub mod sim;
+pub mod traffic;
+
+pub use loopback::{LoopbackNic, LoopbackParams, LoopbackSample};
+pub use ring::DescriptorRing;
+pub use sim::{NicSim, NicSimResult};

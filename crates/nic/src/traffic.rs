@@ -1,0 +1,87 @@
+//! Packet-size workloads for examples and benchmarks.
+
+use pcie_sim::SplitMix64;
+
+/// A packet-size generator.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// Every packet the same size.
+    Fixed(u32),
+    /// The canonical "simple IMIX": 64 B (7 parts), 570 B (4 parts),
+    /// 1518 B (1 part).
+    Imix,
+    /// Uniformly random sizes in `[min, max]`.
+    Uniform {
+        /// Smallest frame.
+        min: u32,
+        /// Largest frame.
+        max: u32,
+    },
+}
+
+impl Workload {
+    /// Draws the next packet size.
+    pub fn next_size(&self, rng: &mut SplitMix64) -> u32 {
+        match *self {
+            Workload::Fixed(s) => s,
+            Workload::Imix => match rng.next_below(12) {
+                0..=6 => 64,
+                7..=10 => 570,
+                _ => 1518,
+            },
+            Workload::Uniform { min, max } => rng.range(min as u64, max as u64 + 1) as u32,
+        }
+    }
+
+    /// Mean packet size of the workload.
+    pub fn mean_size(&self) -> f64 {
+        match *self {
+            Workload::Fixed(s) => s as f64,
+            Workload::Imix => (7.0 * 64.0 + 4.0 * 570.0 + 1518.0) / 12.0,
+            Workload::Uniform { min, max } => (min as f64 + max as f64) / 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_fixed() {
+        let mut rng = SplitMix64::new(1);
+        let w = Workload::Fixed(256);
+        assert!((0..100).all(|_| w.next_size(&mut rng) == 256));
+        assert_eq!(w.mean_size(), 256.0);
+    }
+
+    #[test]
+    fn imix_mixes_with_right_proportions() {
+        let mut rng = SplitMix64::new(2);
+        let w = Workload::Imix;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..12_000 {
+            *counts.entry(w.next_size(&mut rng)).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.len(), 3);
+        let small = counts[&64] as f64 / 12_000.0;
+        assert!((small - 7.0 / 12.0).abs() < 0.03, "{small}");
+        // Empirical mean near the analytic one.
+        let mean: f64 = counts
+            .iter()
+            .map(|(&s, &c)| s as f64 * c as f64)
+            .sum::<f64>()
+            / 12_000.0;
+        assert!((mean - w.mean_size()).abs() < 15.0);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = SplitMix64::new(3);
+        let w = Workload::Uniform { min: 64, max: 1518 };
+        for _ in 0..1000 {
+            let s = w.next_size(&mut rng);
+            assert!((64..=1518).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Bytes-on-wire accounting (paper §3).
+//!
+//! Each TLP costs, in addition to its payload:
+//!
+//! * physical-layer framing (the paper models 2 B),
+//! * the data-link-layer header: 2 B sequence number + 4 B LCRC,
+//! * the transaction-layer header: 12 B (3DW) or 16 B (4DW),
+//! * optionally a 4 B ECRC digest.
+//!
+//! This yields the paper's constants: `MWr_Hdr = MRd_Hdr = 24 B`
+//! (64-bit addressing) and `CplD_Hdr = 20 B`.
+
+use crate::types::TlpType;
+
+/// Per-TLP fixed overheads, configurable for sensitivity studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlpOverheads {
+    /// Physical-layer framing bytes per TLP (paper: 2).
+    pub framing: u32,
+    /// Data-link-layer header bytes per TLP (2 B seq + 4 B LCRC = 6).
+    pub dll_header: u32,
+    /// Whether TLPs carry the optional 4 B ECRC digest.
+    pub ecrc: bool,
+    /// Bytes per DLLP on the wire (2 B framing + 6 B body = 8).
+    pub dllp_bytes: u32,
+}
+
+impl Default for TlpOverheads {
+    fn default() -> Self {
+        TlpOverheads {
+            framing: 2,
+            dll_header: 6,
+            ecrc: false,
+            dllp_bytes: 8,
+        }
+    }
+}
+
+/// The wire cost of a single TLP, broken down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireCost {
+    /// Header bytes: framing + DLL + TLP header (+ ECRC).
+    pub header_bytes: u32,
+    /// Payload bytes carried (DW-padded as on the wire).
+    pub payload_bytes: u32,
+}
+
+impl WireCost {
+    /// Total bytes occupying the link.
+    pub fn total(&self) -> u32 {
+        self.header_bytes + self.payload_bytes
+    }
+}
+
+impl TlpOverheads {
+    /// Wire cost of a TLP of type `ty` carrying `payload_bytes` of data
+    /// (0 for requests/`Cpl`). The payload is padded to a whole number
+    /// of double-words, as on the wire.
+    pub fn wire_cost(&self, ty: TlpType, payload_bytes: u32) -> WireCost {
+        let payload_padded = if ty.has_data() {
+            payload_bytes.div_ceil(4) * 4
+        } else {
+            debug_assert_eq!(payload_bytes, 0, "{ty} carries no data");
+            0
+        };
+        let header =
+            self.framing + self.dll_header + ty.header_len() as u32 + if self.ecrc { 4 } else { 0 };
+        WireCost {
+            header_bytes: header,
+            payload_bytes: payload_padded,
+        }
+    }
+
+    /// The paper's `MWr_Hdr`/`MRd_Hdr` constant for a given addressing
+    /// mode: total per-TLP overhead of a memory request.
+    pub fn mem_hdr_bytes(&self, addr64: bool) -> u32 {
+        let ty = if addr64 {
+            TlpType::MWr64
+        } else {
+            TlpType::MWr32
+        };
+        self.wire_cost(ty, 0).header_bytes
+    }
+
+    /// The paper's `CplD_Hdr` constant: per-TLP overhead of a
+    /// completion with data.
+    pub fn cpld_hdr_bytes(&self) -> u32 {
+        self.wire_cost(TlpType::CplD, 0).header_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let o = TlpOverheads::default();
+        // §3: "MWr_Hdr is 24B (2B framing, 6B DLL header, 4B TLP
+        // header, and 12B MWr header)" — i.e. a 16 B 4DW header.
+        assert_eq!(o.mem_hdr_bytes(true), 24);
+        // "with MRd_Hdr being 24B and CPL_Hdr 20B"
+        assert_eq!(o.wire_cost(TlpType::MRd64, 0).total(), 24);
+        assert_eq!(o.cpld_hdr_bytes(), 20);
+        // 32-bit addressing saves one DW.
+        assert_eq!(o.mem_hdr_bytes(false), 20);
+    }
+
+    #[test]
+    fn payload_padding() {
+        let o = TlpOverheads::default();
+        let c = o.wire_cost(TlpType::MWr64, 7);
+        assert_eq!(c.payload_bytes, 8, "payload DW-padded");
+        assert_eq!(c.total(), 24 + 8);
+        let c = o.wire_cost(TlpType::CplD, 64);
+        assert_eq!(c.total(), 84);
+    }
+
+    #[test]
+    fn ecrc_adds_a_dw() {
+        let o = TlpOverheads {
+            ecrc: true,
+            ..Default::default()
+        };
+        assert_eq!(o.mem_hdr_bytes(true), 28);
+    }
+
+    #[test]
+    fn requests_carry_no_payload() {
+        let o = TlpOverheads::default();
+        assert_eq!(o.wire_cost(TlpType::MRd64, 0).payload_bytes, 0);
+        assert_eq!(o.wire_cost(TlpType::Cpl, 0).total(), 20);
+    }
+}

@@ -1,0 +1,298 @@
+//! Transfer splitting: how DMA transfers become TLPs.
+//!
+//! Three rules from the PCIe base spec shape every DMA:
+//!
+//! * a memory **write** is chopped into MWr TLPs of at most MPS
+//!   (Maximum Payload Size) bytes, never crossing a 4 KiB boundary;
+//! * a memory **read request** may ask for at most MRRS (Maximum Read
+//!   Request Size) bytes and must not cross a 4 KiB boundary;
+//! * the completer answers each read with CplD TLPs of at most MPS
+//!   bytes, where every completion after the first must start on a
+//!   Read Completion Boundary (RCB, typically 64 B) — so *unaligned
+//!   reads generate extra TLPs*, an overhead the paper notes its model
+//!   ignores (§3) but which our simulator reproduces.
+
+/// A contiguous chunk of a split transfer: `(address, length_bytes)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// Start address of this chunk.
+    pub addr: u64,
+    /// Length of this chunk in bytes (≥ 1).
+    pub len: u32,
+}
+
+const PAGE: u64 = 4096;
+
+fn check_args(len: u32, quantum: u32, name: &str) {
+    assert!(len > 0, "zero-length transfer");
+    assert!(
+        quantum >= 4 && quantum.is_power_of_two() && quantum as u64 <= PAGE,
+        "{name} must be a power of two in [4, 4096], got {quantum}"
+    );
+}
+
+/// Splits a DMA write into MWr-sized chunks.
+///
+/// Chunks are bounded by `mps` and never cross a 4 KiB boundary; after
+/// an unaligned start, chunks align themselves to `mps` (the behaviour
+/// of real DMA engines, which keeps every later chunk boundary-safe).
+pub fn split_write(addr: u64, len: u32, mps: u32) -> Vec<Chunk> {
+    check_args(len, mps, "MPS");
+    split_quantized(addr, len, mps)
+}
+
+/// Splits a DMA read into MRd request chunks bounded by `mrrs`.
+pub fn split_read_requests(addr: u64, len: u32, mrrs: u32) -> Vec<Chunk> {
+    check_args(len, mrrs, "MRRS");
+    split_quantized(addr, len, mrrs)
+}
+
+/// Common MPS/MRRS splitting: first chunk reaches the next `quantum`
+/// boundary, later chunks are `quantum`-aligned and `quantum`-sized
+/// (except the last). Since `quantum` is a power of two ≤ 4096, aligned
+/// chunks can never straddle a 4 KiB page.
+fn split_quantized(addr: u64, len: u32, quantum: u32) -> Vec<Chunk> {
+    let q = quantum as u64;
+    let mut chunks = Vec::with_capacity((len as usize).div_ceil(quantum as usize) + 1);
+    let mut pos = addr;
+    let mut remaining = len as u64;
+    while remaining > 0 {
+        let to_boundary = q - (pos % q);
+        let n = remaining.min(to_boundary);
+        chunks.push(Chunk {
+            addr: pos,
+            len: n as u32,
+        });
+        pos += n;
+        remaining -= n;
+    }
+    chunks
+}
+
+/// Splits the *completion* stream for a read of `len` bytes at `addr`.
+///
+/// The first CplD may be short — it must bring the stream to an RCB
+/// boundary; subsequent completions are RCB-aligned and at most MPS
+/// long. `mps` must be a multiple of `rcb`.
+pub fn split_completions(addr: u64, len: u32, mps: u32, rcb: u32) -> Vec<Chunk> {
+    check_args(len, mps, "MPS");
+    assert!(
+        rcb >= 4 && rcb.is_power_of_two() && mps.is_multiple_of(rcb),
+        "RCB must be a power of two dividing MPS (rcb={rcb}, mps={mps})"
+    );
+    let rcb = rcb as u64;
+    let mps = mps as u64;
+    let mut chunks = Vec::new();
+    let mut pos = addr;
+    let mut remaining = len as u64;
+    while remaining > 0 {
+        let n = if !pos.is_multiple_of(rcb) {
+            // First completion: align to the RCB.
+            remaining.min(rcb - (pos % rcb))
+        } else {
+            // RCB-aligned: take up to MPS, keeping MPS alignment so the
+            // next chunk also starts RCB-aligned.
+            remaining.min(mps - (pos % mps))
+        };
+        chunks.push(Chunk {
+            addr: pos,
+            len: n as u32,
+        });
+        pos += n;
+        remaining -= n;
+    }
+    chunks
+}
+
+/// The PCIe completion `byte_count` sequence for a chunked read:
+/// bytes remaining *including* each chunk.
+pub fn byte_counts(chunks: &[Chunk]) -> Vec<u32> {
+    let total: u32 = chunks.iter().map(|c| c.len).sum();
+    let mut remaining = total;
+    chunks
+        .iter()
+        .map(|c| {
+            let bc = remaining;
+            remaining -= c.len;
+            bc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn total(chunks: &[Chunk]) -> u64 {
+        chunks.iter().map(|c| c.len as u64).sum()
+    }
+
+    fn contiguous(addr: u64, chunks: &[Chunk]) -> bool {
+        let mut pos = addr;
+        for c in chunks {
+            if c.addr != pos {
+                return false;
+            }
+            pos += c.len as u64;
+        }
+        true
+    }
+
+    #[test]
+    fn aligned_write_exact_multiples() {
+        let c = split_write(0x1000, 1024, 256);
+        assert_eq!(c.len(), 4);
+        assert!(c.iter().all(|c| c.len == 256));
+        assert!(contiguous(0x1000, &c));
+    }
+
+    #[test]
+    fn unaligned_write_first_chunk_short() {
+        let c = split_write(0x10c0, 512, 256);
+        // 0x10c0 % 256 = 0xc0 = 192 -> first chunk 64 bytes.
+        assert_eq!(
+            c[0],
+            Chunk {
+                addr: 0x10c0,
+                len: 64
+            }
+        );
+        assert_eq!(c[1].addr % 256, 0);
+        assert_eq!(total(&c), 512);
+    }
+
+    #[test]
+    fn write_never_crosses_page() {
+        let c = split_write(4096 - 100, 300, 256);
+        for ch in &c {
+            let first_page = ch.addr / 4096;
+            let last_page = (ch.addr + ch.len as u64 - 1) / 4096;
+            assert_eq!(first_page, last_page, "chunk {ch:?} crosses 4KiB");
+        }
+    }
+
+    #[test]
+    fn read_requests_match_paper_eq2() {
+        // Eq 2: number of MRd TLPs = ceil(sz / MRRS) for aligned reads.
+        for sz in [64u32, 512, 513, 1024, 1500, 2048] {
+            let c = split_read_requests(0x20000, sz, 512);
+            assert_eq!(c.len() as u32, sz.div_ceil(512), "sz={sz}");
+        }
+    }
+
+    #[test]
+    fn completions_aligned_match_paper_eq3() {
+        // Eq 3: number of CplD TLPs = ceil(sz / MPS) for aligned reads.
+        for sz in [64u32, 256, 257, 512, 1024, 2048] {
+            let c = split_completions(0x4000, sz, 256, 64);
+            assert_eq!(c.len() as u32, sz.div_ceil(256), "sz={sz}");
+        }
+    }
+
+    #[test]
+    fn unaligned_completion_generates_extra_tlp() {
+        // A 256B read at offset 8: the root complex sends 56B (to the
+        // RCB), then 192B (to the next MPS boundary), then 8B — three
+        // TLPs where the aligned read needed one. This is the
+        // unaligned-read overhead the paper's model ignores (§3).
+        let c = split_completions(0x4008, 256, 256, 64);
+        assert_eq!(
+            c[0],
+            Chunk {
+                addr: 0x4008,
+                len: 56
+            }
+        );
+        assert_eq!(
+            c[1],
+            Chunk {
+                addr: 0x4040,
+                len: 192
+            }
+        );
+        assert_eq!(
+            c[2],
+            Chunk {
+                addr: 0x4100,
+                len: 8
+            }
+        );
+        assert_eq!(c.len(), 3);
+        let aligned = split_completions(0x4000, 256, 256, 64);
+        assert_eq!(aligned.len(), 1);
+    }
+
+    #[test]
+    fn byte_counts_sequence() {
+        let c = split_completions(0x4000, 600, 256, 64);
+        assert_eq!(byte_counts(&c), vec![600, 344, 88]);
+    }
+
+    #[test]
+    #[should_panic(expected = "MPS")]
+    fn rejects_non_power_of_two_mps() {
+        split_write(0, 100, 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn rejects_zero_len() {
+        split_write(0, 0, 256);
+    }
+
+    proptest! {
+        #[test]
+        fn write_split_invariants(addr in 0u64..1u64<<40, len in 1u32..16384, mps_pow in 5u32..10) {
+            let mps = 1u32 << mps_pow; // 32..512
+            let chunks = split_write(addr, len, mps);
+            prop_assert_eq!(total(&chunks), len as u64);
+            prop_assert!(contiguous(addr, &chunks));
+            for c in &chunks {
+                prop_assert!(c.len <= mps);
+                prop_assert!(c.len > 0);
+                let a = c.addr / 4096;
+                let b = (c.addr + c.len as u64 - 1) / 4096;
+                prop_assert_eq!(a, b, "crosses 4KiB: {:?}", c);
+            }
+            // all chunks except first start aligned
+            for c in chunks.iter().skip(1) {
+                prop_assert_eq!(c.addr % mps as u64, 0);
+            }
+        }
+
+        #[test]
+        fn completion_split_invariants(addr in 0u64..1u64<<40, len in 1u32..16384) {
+            let (mps, rcb) = (256u32, 64u32);
+            let chunks = split_completions(addr, len, mps, rcb);
+            prop_assert_eq!(total(&chunks), len as u64);
+            prop_assert!(contiguous(addr, &chunks));
+            for (i, c) in chunks.iter().enumerate() {
+                prop_assert!(c.len <= mps);
+                if i > 0 {
+                    prop_assert_eq!(c.addr % rcb as u64, 0, "chunk {} not RCB aligned", i);
+                }
+            }
+            // byte_counts is strictly decreasing and starts at len
+            let bcs = byte_counts(&chunks);
+            prop_assert_eq!(bcs[0], len);
+            for w in bcs.windows(2) {
+                prop_assert!(w[0] > w[1]);
+            }
+        }
+
+        #[test]
+        fn read_request_split_invariants(addr in 0u64..1u64<<40, len in 1u32..16384) {
+            let mrrs = 512u32;
+            let chunks = split_read_requests(addr, len, mrrs);
+            prop_assert_eq!(total(&chunks), len as u64);
+            prop_assert!(contiguous(addr, &chunks));
+            for c in &chunks {
+                prop_assert!(c.len <= mrrs);
+                let a = c.addr / 4096;
+                let b = (c.addr + c.len as u64 - 1) / 4096;
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Core TLP field types.
+
+use core::fmt;
+
+/// The TLP kinds relevant to DMA performance (paper §3).
+///
+/// Each variant knows its `fmt`/`type` field encoding from the PCIe
+/// base specification. Memory requests come in 3DW (32-bit address)
+/// and 4DW (64-bit address) flavours; completions are always 3DW.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TlpType {
+    /// Memory Read request, 32-bit address (3DW header, no data).
+    MRd32,
+    /// Memory Read request, 64-bit address (4DW header, no data).
+    MRd64,
+    /// Memory Write request, 32-bit address (3DW header, with data).
+    MWr32,
+    /// Memory Write request, 64-bit address (4DW header, with data).
+    MWr64,
+    /// Completion without data (error/flush completions).
+    Cpl,
+    /// Completion with data.
+    CplD,
+    /// Type-0 configuration read (device initialisation, §5.3).
+    CfgRd0,
+    /// Type-0 configuration write.
+    CfgWr0,
+}
+
+impl TlpType {
+    /// The `fmt` field (DW0 bits 31:29).
+    pub fn fmt_field(self) -> u8 {
+        match self {
+            TlpType::MRd32 => 0b000,
+            TlpType::MRd64 => 0b001,
+            TlpType::MWr32 => 0b010,
+            TlpType::MWr64 => 0b011,
+            TlpType::Cpl => 0b000,
+            TlpType::CplD => 0b010,
+            TlpType::CfgRd0 => 0b000,
+            TlpType::CfgWr0 => 0b010,
+        }
+    }
+
+    /// The `type` field (DW0 bits 28:24).
+    pub fn type_field(self) -> u8 {
+        match self {
+            TlpType::MRd32 | TlpType::MRd64 | TlpType::MWr32 | TlpType::MWr64 => 0b0_0000,
+            TlpType::Cpl | TlpType::CplD => 0b0_1010,
+            TlpType::CfgRd0 | TlpType::CfgWr0 => 0b0_0100,
+        }
+    }
+
+    /// Decodes `fmt`/`type` fields back into a `TlpType`.
+    pub fn from_fields(fmt: u8, ty: u8) -> Option<TlpType> {
+        match (fmt, ty) {
+            (0b000, 0b0_0000) => Some(TlpType::MRd32),
+            (0b001, 0b0_0000) => Some(TlpType::MRd64),
+            (0b010, 0b0_0000) => Some(TlpType::MWr32),
+            (0b011, 0b0_0000) => Some(TlpType::MWr64),
+            (0b000, 0b0_1010) => Some(TlpType::Cpl),
+            (0b010, 0b0_1010) => Some(TlpType::CplD),
+            (0b000, 0b0_0100) => Some(TlpType::CfgRd0),
+            (0b010, 0b0_0100) => Some(TlpType::CfgWr0),
+            _ => None,
+        }
+    }
+
+    /// Header length in bytes (3DW = 12, 4DW = 16).
+    pub fn header_len(self) -> usize {
+        match self {
+            TlpType::MRd64 | TlpType::MWr64 => 16,
+            _ => 12,
+        }
+    }
+
+    /// Whether this TLP carries a data payload.
+    pub fn has_data(self) -> bool {
+        matches!(
+            self,
+            TlpType::MWr32 | TlpType::MWr64 | TlpType::CplD | TlpType::CfgWr0
+        )
+    }
+
+    /// Whether this is a memory request (read or write).
+    pub fn is_mem_request(self) -> bool {
+        matches!(
+            self,
+            TlpType::MRd32 | TlpType::MRd64 | TlpType::MWr32 | TlpType::MWr64
+        )
+    }
+
+    /// Whether this is a completion.
+    pub fn is_completion(self) -> bool {
+        matches!(self, TlpType::Cpl | TlpType::CplD)
+    }
+
+    /// Whether this is a *posted* transaction (fire-and-forget).
+    ///
+    /// Memory writes are posted; reads are non-posted (they expect
+    /// completions), and so are configuration requests — even config
+    /// *writes* complete with a `Cpl`. This distinction drives both
+    /// flow-control credit accounting and the paper's observation that
+    /// write latency can only be measured indirectly (§4.1).
+    pub fn is_posted(self) -> bool {
+        matches!(self, TlpType::MWr32 | TlpType::MWr64)
+    }
+
+    /// Whether this is a configuration request.
+    pub fn is_cfg_request(self) -> bool {
+        matches!(self, TlpType::CfgRd0 | TlpType::CfgWr0)
+    }
+}
+
+impl fmt::Display for TlpType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TlpType::MRd32 => "MRd(32)",
+            TlpType::MRd64 => "MRd(64)",
+            TlpType::MWr32 => "MWr(32)",
+            TlpType::MWr64 => "MWr(64)",
+            TlpType::Cpl => "Cpl",
+            TlpType::CplD => "CplD",
+            TlpType::CfgRd0 => "CfgRd0",
+            TlpType::CfgWr0 => "CfgWr0",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A PCIe requester/completer ID: bus, device, function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DeviceId {
+    /// Bus number (8 bits).
+    pub bus: u8,
+    /// Device number (5 bits).
+    pub device: u8,
+    /// Function number (3 bits).
+    pub function: u8,
+}
+
+impl DeviceId {
+    /// Builds an ID, masking fields to their wire widths.
+    pub fn new(bus: u8, device: u8, function: u8) -> Self {
+        DeviceId {
+            bus,
+            device: device & 0x1f,
+            function: function & 0x7,
+        }
+    }
+
+    /// Packs into the 16-bit wire encoding.
+    pub fn to_u16(self) -> u16 {
+        ((self.bus as u16) << 8) | ((self.device as u16) << 3) | self.function as u16
+    }
+
+    /// Unpacks from the 16-bit wire encoding.
+    pub fn from_u16(v: u16) -> Self {
+        DeviceId {
+            bus: (v >> 8) as u8,
+            device: ((v >> 3) & 0x1f) as u8,
+            function: (v & 0x7) as u8,
+        }
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02x}:{:02x}.{}", self.bus, self.device, self.function)
+    }
+}
+
+/// A transaction tag, matching completions to outstanding reads.
+///
+/// Classic PCIe allows 32 (or 256 with extended tags) outstanding
+/// non-posted requests per requester; the number of tags a DMA engine
+/// can keep in flight is one of the key throughput limiters the paper
+/// quantifies (§2, §6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag(pub u16);
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tag{}", self.0)
+    }
+}
+
+/// Completion status codes (subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CplStatus {
+    /// Successful completion.
+    Success,
+    /// Unsupported request.
+    UnsupportedRequest,
+    /// Completer abort.
+    CompleterAbort,
+}
+
+impl CplStatus {
+    /// 3-bit wire encoding.
+    pub fn to_bits(self) -> u8 {
+        match self {
+            CplStatus::Success => 0b000,
+            CplStatus::UnsupportedRequest => 0b001,
+            CplStatus::CompleterAbort => 0b100,
+        }
+    }
+
+    /// Decode from the 3-bit wire encoding.
+    pub fn from_bits(v: u8) -> Option<Self> {
+        match v {
+            0b000 => Some(CplStatus::Success),
+            0b001 => Some(CplStatus::UnsupportedRequest),
+            0b100 => Some(CplStatus::CompleterAbort),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [TlpType; 8] = [
+        TlpType::MRd32,
+        TlpType::MRd64,
+        TlpType::MWr32,
+        TlpType::MWr64,
+        TlpType::Cpl,
+        TlpType::CplD,
+        TlpType::CfgRd0,
+        TlpType::CfgWr0,
+    ];
+
+    #[test]
+    fn fmt_type_round_trip() {
+        for t in ALL {
+            assert_eq!(TlpType::from_fields(t.fmt_field(), t.type_field()), Some(t));
+        }
+        assert_eq!(TlpType::from_fields(0b111, 0), None);
+    }
+
+    #[test]
+    fn header_lengths_match_spec() {
+        assert_eq!(TlpType::MRd32.header_len(), 12);
+        assert_eq!(TlpType::MRd64.header_len(), 16);
+        assert_eq!(TlpType::MWr64.header_len(), 16);
+        assert_eq!(TlpType::CplD.header_len(), 12);
+    }
+
+    #[test]
+    fn cfg_requests_are_non_posted_3dw() {
+        assert_eq!(TlpType::CfgRd0.header_len(), 12);
+        assert_eq!(TlpType::CfgWr0.header_len(), 12);
+        assert!(!TlpType::CfgWr0.is_posted(), "cfg writes expect a Cpl");
+        assert!(TlpType::CfgWr0.has_data());
+        assert!(!TlpType::CfgRd0.has_data());
+        assert!(TlpType::CfgRd0.is_cfg_request());
+        assert!(!TlpType::MRd64.is_cfg_request());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(TlpType::MWr64.is_posted());
+        assert!(!TlpType::MRd64.is_posted());
+        assert!(TlpType::MRd64.is_mem_request());
+        assert!(TlpType::CplD.is_completion());
+        assert!(TlpType::CplD.has_data());
+        assert!(!TlpType::Cpl.has_data());
+        assert!(!TlpType::MRd32.has_data());
+    }
+
+    #[test]
+    fn device_id_round_trip() {
+        let id = DeviceId::new(0x3b, 31, 7);
+        assert_eq!(DeviceId::from_u16(id.to_u16()), id);
+        assert_eq!(format!("{id}"), "3b:1f.7");
+        // masking
+        let id2 = DeviceId::new(1, 32, 8);
+        assert_eq!(id2.device, 0);
+        assert_eq!(id2.function, 0);
+    }
+
+    #[test]
+    fn cpl_status_round_trip() {
+        for s in [
+            CplStatus::Success,
+            CplStatus::UnsupportedRequest,
+            CplStatus::CompleterAbort,
+        ] {
+            assert_eq!(CplStatus::from_bits(s.to_bits()), Some(s));
+        }
+        assert_eq!(CplStatus::from_bits(0b111), None);
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(TlpType::MRd64.to_string(), "MRd(64)");
+        assert_eq!(Tag(5).to_string(), "tag5");
+    }
+}

@@ -1,0 +1,81 @@
+//! Bring your own device (§5.5): the paper argues pcie-bench is
+//! implementable on any device with programmable DMA engines. This
+//! example defines a hypothetical CXL-era accelerator — fast issue
+//! path, 256 tags, Gen4 x16 — and runs the standard benchmark suite
+//! over it, including a Gen3-vs-Gen4 comparison.
+//!
+//! Run with: `cargo run --release --example custom_device`
+
+use pcie_bench_repro::bench::{run_bandwidth, run_latency, BenchParams, BenchSetup, BwOp, LatOp};
+use pcie_bench_repro::device::DeviceParams;
+use pcie_bench_repro::model::config::LinkConfig;
+use pcie_bench_repro::sim::SimTime;
+
+/// A hypothetical accelerator: near-NetFPGA issue latency, extended
+/// tags (256), generous worker parallelism.
+fn accelerator() -> DeviceParams {
+    DeviceParams {
+        name: "Accel-X",
+        dma_issue_overhead: SimTime::from_ns(12),
+        dma_complete_overhead: SimTime::from_ns(6),
+        internal_copy_fixed: SimTime::ZERO,
+        internal_copy_per_byte_ps: 0,
+        max_inflight_reads: 256,
+        workers: 512,
+        issue_gap: SimTime::from_ns(2),
+        timestamp_quantum_ps: 1_000,
+        cmdif: None,
+    }
+}
+
+fn main() {
+    let gen3 = BenchSetup {
+        device: accelerator(),
+        ..BenchSetup::netfpga_hsw()
+    };
+    let gen4 = BenchSetup {
+        device: accelerator(),
+        link: LinkConfig::gen4_x16(),
+        ..BenchSetup::netfpga_hsw()
+    };
+
+    println!("Custom device '{}' on two links:\n", gen3.device.name);
+    println!(
+        "{:>6} {:>16} {:>16} {:>18}",
+        "size", "Gen3x8 BW_RD", "Gen4x16 BW_RD", "Gen4x16 LAT_RD med"
+    );
+    for sz in [64u32, 256, 1024, 2048] {
+        let p = BenchParams::baseline(sz);
+        let b3 = run_bandwidth(
+            &gen3,
+            &p,
+            BwOp::Rd,
+            20_000,
+            pcie_bench_repro::device::DmaPath::DmaEngine,
+        );
+        let b4 = run_bandwidth(
+            &gen4,
+            &p,
+            BwOp::Rd,
+            20_000,
+            pcie_bench_repro::device::DmaPath::DmaEngine,
+        );
+        let l4 = run_latency(
+            &gen4,
+            &p,
+            LatOp::Rd,
+            1_000,
+            pcie_bench_repro::device::DmaPath::DmaEngine,
+        );
+        println!(
+            "{:>6} {:>13.1} Gb/s {:>13.1} Gb/s {:>15.0}ns",
+            sz, b3.gbps, b4.gbps, l4.summary.median
+        );
+    }
+
+    println!(
+        "\nNotes: Gen4 x16 quadruples the wire budget, so small-transfer throughput\n\
+         becomes tag/latency-bound — exactly the regime the paper's §7 sizing\n\
+         arithmetic addresses (hence this device's 256 extended tags)."
+    );
+}

@@ -1,0 +1,88 @@
+//! Driver bring-up: the §5.3 initialisation flow, end to end — probe
+//! the device over configuration cycles, size BAR0, walk the
+//! capability list, negotiate MPS/MRRS into Device Control, and then
+//! run the benchmark on the *negotiated* link, showing how the
+//! negotiated payload size changes measured bandwidth.
+//!
+//! Run with: `cargo run --release --example driver_bringup`
+
+use pcie_bench_repro::bench::{run_bandwidth, BenchParams, BenchSetup, BwOp};
+use pcie_bench_repro::device::config_space::decode_size;
+use pcie_bench_repro::device::{DeviceParams, DmaPath, Platform};
+use pcie_bench_repro::host::presets::HostPreset;
+use pcie_bench_repro::host::HostSystem;
+use pcie_bench_repro::link::LinkTiming;
+use pcie_bench_repro::model::config::LinkConfig;
+use pcie_bench_repro::sim::SimTime;
+
+fn main() {
+    let host = HostSystem::new(HostPreset::nfp6000_hsw(), 3);
+    let mut p = Platform::new(
+        DeviceParams::nfp6000(),
+        host,
+        LinkConfig::gen3_x8(),
+        LinkTiming::default(),
+    );
+
+    println!("== driver probe (config cycles over the simulated link) ==");
+    let mut t = SimTime::ZERO;
+    let (t1, id) = p.cfg_read(t, 0);
+    t = t1;
+    println!(
+        "  vendor:device = {:04x}:{:04x}   ({})",
+        id & 0xffff,
+        id >> 16,
+        t1
+    );
+
+    // BAR0 sizing protocol.
+    t = p.cfg_write(t, 0x10 / 4, u32::MAX);
+    let (t2, probe) = p.cfg_read(t, 0x10 / 4);
+    t = t2;
+    let bar0 = 1u64 << (probe & !0xf).trailing_zeros();
+    println!("  BAR0 sizes as {} MiB", bar0 >> 20);
+    t = p.cfg_write(t, 0x10 / 4, 0xfb00_0000);
+
+    // Capability walk + MPS/MRRS negotiation.
+    let cap = p
+        .config_space()
+        .find_capability(0x10)
+        .expect("PCIe capability");
+    let devcap = p.config_space().read(cap / 4 + 1);
+    println!(
+        "  PCIe capability @0x{cap:02x}: device supports MPS {}B",
+        decode_size((devcap & 0x7) as u8)
+    );
+    let (reset_mps, reset_mrrs) = p.config_space().negotiated();
+    println!("  reset DevCtl: MPS {reset_mps}B, MRRS {reset_mrrs}B");
+
+    println!("\n== negotiated-MPS impact on the data path (1024B BW_WR) ==");
+    // Re-run the same benchmark under the MPS each root port would
+    // negotiate (the device supports up to 1024B).
+    for root_port_mps in [128u32, 256, 512] {
+        let probe_setup = BenchSetup::nfp6000_hsw();
+        let mut cs = pcie_bench_repro::device::ConfigSpace::nfp6000_like();
+        let link = cs.negotiate(root_port_mps, 512, probe_setup.link);
+        let setup = BenchSetup {
+            link,
+            ..probe_setup
+        };
+        let bw = run_bandwidth(
+            &setup,
+            &BenchParams::baseline(1024),
+            BwOp::Wr,
+            15_000,
+            DmaPath::DmaEngine,
+        );
+        println!(
+            "  root port MPS {root_port_mps:>4}B  ->  negotiated MPS {:>4}B:  {:>5.1} Gb/s",
+            link.mps, bw.gbps
+        );
+    }
+    println!(
+        "\nEq. 1 in action: every halving of the negotiated MPS doubles the\n\
+         24B-header count per transfer — the paper's link budgets assume the\n\
+         negotiation landed on MPS 256 (Table-1-era root ports)."
+    );
+    let _ = t;
+}

@@ -1,0 +1,117 @@
+//! IMIX forwarding: a DPDK-style forwarding NIC driven by realistic
+//! mixed-size traffic, built from the library's primitives — descriptor
+//! rings over real host-buffer addresses, batched ring DMA, packet DMA,
+//! doorbells — over the live PCIe substrate.
+//!
+//! The question it answers is the paper's motivating one (§2): does a
+//! given NIC/driver design sustain line rate for a *realistic* packet
+//! mix, not just fixed sizes?
+//!
+//! Run with: `cargo run --release --example imix_forwarding`
+
+use pcie_bench_repro::device::{DeviceParams, DmaPath, Platform};
+use pcie_bench_repro::host::buffer::BufferAllocator;
+use pcie_bench_repro::host::presets::HostPreset;
+use pcie_bench_repro::host::HostSystem;
+use pcie_bench_repro::link::LinkTiming;
+use pcie_bench_repro::model::config::LinkConfig;
+use pcie_bench_repro::model::latency::ETHERNET_WIRE_OVERHEAD;
+use pcie_bench_repro::nic::traffic::Workload;
+use pcie_bench_repro::nic::DescriptorRing;
+use pcie_bench_repro::sim::{SimTime, SplitMix64};
+
+const DESC: u32 = 16;
+const BATCH: u32 = 32;
+const PKTS: u32 = 40_000;
+
+fn run(workload: &Workload, label: &str) {
+    let mut alloc = BufferAllocator::default_layout();
+    let ring_buf = alloc.alloc(64 * 1024, 0);
+    let pkt_buf = alloc.alloc(8 << 20, 0);
+    let mut host = HostSystem::new(HostPreset::netfpga_hsw(), 1712);
+    host.host_warm(&ring_buf, 0, 64 * 1024);
+    host.host_warm(&pkt_buf, 0, 8 << 20);
+    let mut p = Platform::new(
+        DeviceParams::nic_dma_engine(),
+        host,
+        LinkConfig::gen3_x8(),
+        LinkTiming::default(),
+    );
+    let mut rx_ring = DescriptorRing::new(&ring_buf, 0, DESC, 1024);
+    let mut tx_ring = DescriptorRing::new(&ring_buf, 32 * 1024, DESC, 1024);
+    let mut rng = SplitMix64::new(42);
+
+    let mut rx_bytes = 0u64;
+    let mut last = SimTime::ZERO;
+    let window = 128usize;
+    let mut dones = vec![SimTime::ZERO; window];
+
+    let mut i = 0u32;
+    while i < PKTS {
+        let want = dones[(i as usize) % window];
+        // Driver replenishes the freelist and fetches a burst of
+        // descriptors through the ring (coalesced DMA ranges).
+        let rx_slots = rx_ring.produce(BATCH);
+        for (off, len) in rx_ring.dma_ranges(&rx_slots) {
+            p.dma_read(want, &ring_buf, off, len, DmaPath::DmaEngine);
+        }
+        p.pio_write(want, 4); // RX tail doorbell
+
+        for _ in 0..BATCH.min(PKTS - i) {
+            let sz = workload.next_size(&mut rng);
+            let slot = (i as u64 % 4000) * 2048;
+            // RX: packet lands in host memory + descriptor write-back.
+            let rx = p.dma_write(want, &pkt_buf, slot, sz, DmaPath::DmaEngine);
+            let wb = rx_ring.consume(1);
+            for (off, len) in rx_ring.dma_ranges(&wb) {
+                p.dma_write(want, &ring_buf, off, len, DmaPath::DmaEngine);
+            }
+            // Forwarding: TX reads the same packet back out.
+            let tx_slots = tx_ring.produce(1);
+            for (off, len) in tx_ring.dma_ranges(&tx_slots) {
+                p.dma_read(
+                    want,
+                    &ring_buf,
+                    32 * 1024 + off % 16384,
+                    len.min(DESC),
+                    DmaPath::DmaEngine,
+                );
+            }
+            let tx = p.dma_read(want, &pkt_buf, slot, sz, DmaPath::DmaEngine);
+            tx_ring.consume(1);
+            rx_bytes += sz as u64;
+            let done = rx.done.max(tx.done);
+            dones[(i as usize) % window] = done;
+            last = last.max(done);
+            i += 1;
+        }
+        p.pio_write(want, 4); // TX doorbell per burst
+    }
+
+    let secs = last.as_secs_f64();
+    let gbps = rx_bytes as f64 * 8.0 / secs / 1e9;
+    let mpps = PKTS as f64 / secs / 1e6;
+    // The 40GbE wire budget for this mix.
+    let mean = workload.mean_size();
+    let line_mpps = 40e9 / ((mean + ETHERNET_WIRE_OVERHEAD) * 8.0) / 1e6;
+    println!(
+        "{label:<22} {gbps:>7.1} Gb/s  {mpps:>6.2} Mpps  (40GbE ceiling {line_mpps:>6.2} Mpps)  {}",
+        if mpps >= line_mpps {
+            "LINE RATE"
+        } else {
+            "below line rate"
+        }
+    );
+}
+
+fn main() {
+    println!("Full-duplex forwarding over PCIe Gen3 x8 (DPDK-style rings, batch {BATCH}):\n");
+    run(&Workload::Fixed(64), "64B worst case");
+    run(&Workload::Fixed(128), "128B");
+    run(&Workload::Imix, "IMIX (7:4:1)");
+    run(&Workload::Fixed(1500), "1500B");
+    println!(
+        "\nAs §2 predicts: the PCIe leg cannot forward 64B packets at 40GbE line\n\
+         rate, while the IMIX and MTU-sized mixes clear it comfortably."
+    );
+}

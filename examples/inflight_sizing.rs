@@ -1,0 +1,62 @@
+//! In-flight DMA sizing (§2 and §7): given measured PCIe latency,
+//! how many concurrent DMAs must a device sustain for line rate —
+//! the calculation that "determined the sizing of I/O structures"
+//! in Netronome firmware.
+//!
+//! Run with: `cargo run --release --example inflight_sizing`
+
+use pcie_bench_repro::bench::{run_latency, BenchParams, BenchSetup, LatOp};
+use pcie_bench_repro::device::DmaPath;
+use pcie_bench_repro::model::latency::{
+    cycle_budget, inter_packet_time_ns, required_inflight_dmas,
+};
+
+fn main() {
+    // Measure the actual 128B DMA read latency on NFP6000-HSW, as §7
+    // does ("it takes between 560-666ns to transfer 128B").
+    let setup = BenchSetup::nfp6000_hsw();
+    let r = run_latency(
+        &setup,
+        &BenchParams::baseline(128),
+        LatOp::Rd,
+        5_000,
+        DmaPath::DmaEngine,
+    );
+    println!(
+        "Measured 128B LAT_RD on {}: median {:.0}ns (p95 {:.0}ns)",
+        setup.preset.name, r.summary.median, r.summary.p95
+    );
+    println!("(paper §7: 560-666ns)\n");
+
+    println!(
+        "{:>8} {:>8} {:>12} {:>14} {:>16}",
+        "rate", "pkt", "inter-pkt", "in-flight", "cycles/DMA@1.2GHz"
+    );
+    for (rate, label) in [
+        (10e9, "10G"),
+        (40e9, "40G"),
+        (100e9, "100G"),
+        (400e9, "400G"),
+    ] {
+        for pkt in [64u32, 128, 256, 1500] {
+            let ipt = inter_packet_time_ns(rate, pkt);
+            let inflight = required_inflight_dmas(r.summary.median, rate, pkt);
+            let budget = cycle_budget(rate, pkt, 1.2e9, 96);
+            println!(
+                "{:>8} {:>7}B {:>10.1}ns {:>14} {:>16.0}",
+                label, pkt, ipt, inflight, budget
+            );
+        }
+    }
+
+    println!(
+        "\nWith the IOMMU enabled, add the ~330ns walk to the latency budget (§7);\n\
+         with a Xeon E3-class root complex, budget for the p99 instead of the median."
+    );
+    let with_walk = required_inflight_dmas(r.summary.median + 330.0, 40e9, 128);
+    println!(
+        "40G/128B in-flight requirement: {} (median) -> {} (median + IO-TLB walk)",
+        required_inflight_dmas(r.summary.median, 40e9, 128),
+        with_walk
+    );
+}

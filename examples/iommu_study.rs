@@ -1,0 +1,95 @@
+//! IOMMU study (§6.5 / §7): quantify the IO-TLB working-set cliff and
+//! evaluate the paper's mitigation — super-pages — plus the
+//! multi-tenant isolation concern it raises.
+//!
+//! Run with: `cargo run --release --example iommu_study`
+
+use pcie_bench_repro::bench::{
+    run_bandwidth, run_latency, BenchParams, BenchSetup, BwOp, CacheState, IommuMode, LatOp,
+    Pattern,
+};
+use pcie_bench_repro::device::DmaPath;
+use pcie_bench_repro::host::presets::NumaPlacement;
+
+fn params(window: u64, transfer: u32) -> BenchParams {
+    BenchParams {
+        window,
+        transfer,
+        offset: 0,
+        pattern: Pattern::Random,
+        cache: CacheState::HostWarm,
+        placement: NumaPlacement::Local,
+    }
+}
+
+fn main() {
+    let off = BenchSetup::nfp6000_bdw();
+    let on4k = BenchSetup::nfp6000_bdw().with_iommu(IommuMode::FourK);
+    let sp = BenchSetup::nfp6000_bdw().with_iommu(IommuMode::SuperPages);
+
+    // 1. The latency cost of a page-table walk.
+    println!("1. IO-TLB miss cost (64B LAT_RD, median):");
+    let hit = run_latency(
+        &on4k,
+        &params(64 << 10, 64),
+        LatOp::Rd,
+        2_000,
+        DmaPath::DmaEngine,
+    );
+    let miss = run_latency(
+        &on4k,
+        &params(64 << 20, 64),
+        LatOp::Rd,
+        2_000,
+        DmaPath::DmaEngine,
+    );
+    println!(
+        "   window 64KiB (IO-TLB resident): {:.0}ns, window 64MiB (every access walks): {:.0}ns",
+        hit.summary.median, miss.summary.median
+    );
+    println!(
+        "   => walk cost ~{:.0}ns (paper: ~330ns, from 430ns to 760ns)\n",
+        miss.summary.median - hit.summary.median
+    );
+
+    // 2. The throughput cliff and the working set that triggers it.
+    println!("2. Throughput vs working set (64B BW_RD, Gb/s):");
+    println!(
+        "   {:>10} {:>9} {:>12} {:>12}",
+        "window", "no-IOMMU", "IOMMU(4K)", "IOMMU(2M)"
+    );
+    for shift in [16u32, 18, 20, 22, 24, 26] {
+        let w = 1u64 << shift;
+        let a = run_bandwidth(&off, &params(w, 64), BwOp::Rd, 20_000, DmaPath::DmaEngine).gbps;
+        let b = run_bandwidth(&on4k, &params(w, 64), BwOp::Rd, 20_000, DmaPath::DmaEngine).gbps;
+        let c = run_bandwidth(&sp, &params(w, 64), BwOp::Rd, 20_000, DmaPath::DmaEngine).gbps;
+        println!("   {:>10} {:>9.1} {:>12.1} {:>12.1}", w >> 10, a, b, c);
+    }
+    println!("   (windows in KiB; 4KiB-page cliff past 256KiB = 64 IO-TLB entries)\n");
+
+    // 3. The multi-tenant concern (§7): a second device thrashing the
+    //    IO-TLB. Approximated by doubling the working set: IO-TLB
+    //    entries are shared, so co-tenants see each other's evictions.
+    println!("3. Multi-tenant view (§7): with a shared IO-TLB, isolation fails —");
+    let alone = run_bandwidth(
+        &on4k,
+        &params(128 << 10, 64),
+        BwOp::Rd,
+        20_000,
+        DmaPath::DmaEngine,
+    );
+    let shared = run_bandwidth(
+        &on4k,
+        &params(512 << 10, 64),
+        BwOp::Rd,
+        20_000,
+        DmaPath::DmaEngine,
+    );
+    println!(
+        "   a tenant fitting the IO-TLB alone gets {:.1} Gb/s; with neighbours\n   pushing the joint working set past the TLB it drops to {:.1} Gb/s ({:.0}%).",
+        alone.gbps,
+        shared.gbps,
+        (shared.gbps / alone.gbps - 1.0) * 100.0
+    );
+    println!("   Paper: \"it is currently not possible to isolate the IO performance\n   of VMs sufficiently with Intel's IOMMUs.\"");
+}

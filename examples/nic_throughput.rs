@@ -1,0 +1,80 @@
+//! NIC design exploration — the paper's motivating use case (§3, §7):
+//! "the model can and has been used to quickly assess the impact of
+//! alternatives when designing custom NIC functionality."
+//!
+//! Sweeps descriptor-batching and interrupt-moderation choices for a
+//! 40GbE NIC on a Gen3 x8 link, analytically *and* dynamically (over
+//! the simulated substrate), and reports which designs sustain line
+//! rate for 128B packets.
+//!
+//! Run with: `cargo run --release --example nic_throughput`
+
+use pcie_bench_repro::device::{DeviceParams, Platform};
+use pcie_bench_repro::host::presets::HostPreset;
+use pcie_bench_repro::host::HostSystem;
+use pcie_bench_repro::link::LinkTiming;
+use pcie_bench_repro::model::bandwidth::ethernet_required_bandwidth;
+use pcie_bench_repro::model::config::LinkConfig;
+use pcie_bench_repro::model::nic::{NicModel, NicModelParams};
+use pcie_bench_repro::nic::NicSim;
+
+fn platform() -> Platform {
+    let host = HostSystem::new(HostPreset::netfpga_hsw(), 7);
+    Platform::new(
+        DeviceParams::nic_dma_engine(),
+        host,
+        LinkConfig::gen3_x8(),
+        LinkTiming::default(),
+    )
+}
+
+fn main() {
+    let link = LinkConfig::gen3_x8();
+    let pkt = 128u32;
+    let need = ethernet_required_bandwidth(40e9, pkt) / 1e9;
+    println!("Target: 40GbE line rate for {pkt}B packets = {need:.1} Gb/s of PCIe payload\n");
+    println!(
+        "{:<34} {:>12} {:>12} {:>10}",
+        "design", "model Gb/s", "sim Gb/s", "40GbE?"
+    );
+
+    let designs: Vec<(&str, NicModelParams)> = vec![
+        ("simple (per-packet everything)", NicModelParams::simple()),
+        ("kernel driver (Niantic-style)", NicModelParams::kernel()),
+        ("DPDK driver (polled, no IRQs)", NicModelParams::dpdk()),
+        ("kernel, no desc batching", {
+            let mut p = NicModelParams::kernel();
+            p.tx_desc_fetch_batch = 1;
+            p.rx_desc_fetch_batch = 1;
+            p
+        }),
+        ("kernel, heavier IRQ moderation", {
+            let mut p = NicModelParams::kernel();
+            p.pkts_per_interrupt = 64;
+            p
+        }),
+        ("DPDK, RX wb coalesced x4", {
+            let mut p = NicModelParams::dpdk();
+            p.rx_desc_wb_batch = 4;
+            p
+        }),
+    ];
+
+    for (name, params) in designs {
+        let analytic = NicModel::new(params, link).bidir_bandwidth(pkt) / 1e9;
+        let mut sim = NicSim::new(params, platform());
+        let dynamic = sim.run(pkt, 8_000).gbps;
+        println!(
+            "{:<34} {:>12.1} {:>12.1} {:>10}",
+            name,
+            analytic,
+            dynamic,
+            if dynamic >= need { "yes" } else { "NO" }
+        );
+    }
+
+    println!(
+        "\nLesson (paper §3): moderate batching on device AND driver recovers\n\
+         the bandwidth lost to per-packet doorbells, descriptors and IRQs."
+    );
+}

@@ -1,0 +1,52 @@
+//! Quickstart: measure the PCIe substrate the way the paper does.
+//!
+//! Runs one latency and one bandwidth benchmark on the NFP6000-HSW
+//! system and compares the bandwidth against the §3 analytical model.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pcie_bench_repro::bench::{run_bandwidth, run_latency, BenchParams, BenchSetup, BwOp, LatOp};
+use pcie_bench_repro::device::DmaPath;
+use pcie_bench_repro::model::bandwidth as model;
+use pcie_bench_repro::model::config::LinkConfig;
+
+fn main() {
+    let setup = BenchSetup::nfp6000_hsw();
+    let params = BenchParams::baseline(64); // 64B transfers, 8KiB warm window
+
+    println!("system: {} + {}", setup.preset.name, setup.device.name);
+    println!(
+        "link:   PCIe Gen3 x8 — {:.2} Gb/s physical, {:.2} Gb/s at the TLP layer\n",
+        setup.link.phys_bw() / 1e9,
+        setup.link.tlp_bw() / 1e9
+    );
+
+    // LAT_RD: 2000 individual 64B DMA reads, journalled.
+    let lat = run_latency(&setup, &params, LatOp::Rd, 2_000, DmaPath::DmaEngine);
+    let s = &lat.summary;
+    println!("LAT_RD 64B (warm):");
+    println!(
+        "  median {:.0}ns   min {:.0}ns   p95 {:.0}ns   p99 {:.0}ns",
+        s.median, s.min, s.p95, s.p99
+    );
+    println!("  (paper §6.2: min 520ns, median 547ns on this system)\n");
+
+    // BW_RD: closed-loop 64B DMA reads.
+    let bw = run_bandwidth(&setup, &params, BwOp::Rd, 20_000, DmaPath::DmaEngine);
+    let predicted = model::read_bandwidth(&LinkConfig::gen3_x8(), 64) / 1e9;
+    println!("BW_RD 64B (warm):");
+    println!(
+        "  measured {:.1} Gb/s @ {:.1} Mtps   |   model ceiling {predicted:.1} Gb/s",
+        bw.gbps, bw.mtps
+    );
+    println!("  (paper §6.4: ~32 Gb/s on the NFP — its DMA engine is the bottleneck)");
+    println!(
+        "  DLL overhead observed: {:.1}% up / {:.1}% down",
+        bw.dll_overhead.0 * 100.0,
+        bw.dll_overhead.1 * 100.0
+    );
+
+    // Why is it slower than the model? Ask the substrate.
+    let report = pcie_bench_repro::bench::analysis::bottleneck_report(&setup, &params, 10_000);
+    println!("\nbottleneck attribution:\n{report}");
+}

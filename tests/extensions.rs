@@ -1,0 +1,159 @@
+//! Integration tests for the beyond-the-paper extensions (DESIGN.md
+//! X1–X4): multi-device contention, link-generation scaling, unaligned
+//! DMA, and super-pages. Reduced-scale versions of the `ext_*`
+//! binaries' assertions.
+
+use pcie_bench_repro::bench::{run_bandwidth, BenchParams, BenchSetup, BwOp};
+use pcie_bench_repro::device::{DeviceParams, DmaPath, MultiPlatform};
+use pcie_bench_repro::host::buffer::BufferAllocator;
+use pcie_bench_repro::host::presets::HostPreset;
+use pcie_bench_repro::host::{HostSystem, Iommu};
+use pcie_bench_repro::link::LinkTiming;
+use pcie_bench_repro::model::config::LinkConfig;
+use pcie_bench_repro::sim::{SimTime, SplitMix64};
+
+// ---------- X1: multi-device ----------
+
+fn multi_bw(devices: usize, iommu: bool, txns: usize) -> f64 {
+    const WINDOW: u64 = 160 << 10;
+    let mut host = HostSystem::new(HostPreset::nfp6000_bdw(), 5);
+    if iommu {
+        host.set_iommu(Some(Iommu::intel_4k()));
+    }
+    let mut alloc = BufferAllocator::default_layout();
+    let bufs: Vec<_> = (0..devices).map(|_| alloc.alloc(WINDOW, 0)).collect();
+    for b in &bufs {
+        host.host_warm(b, 0, WINDOW);
+    }
+    let mut p = MultiPlatform::homogeneous(
+        devices,
+        DeviceParams::netfpga(),
+        LinkConfig::gen3_x8(),
+        LinkTiming::default(),
+        host,
+    );
+    let mut rng = SplitMix64::new(17);
+    let mut last = SimTime::ZERO;
+    for _ in 0..txns {
+        for (d, b) in bufs.iter().enumerate() {
+            let off = rng.next_below(WINDOW - 64) & !63;
+            let r = p.dma_read(d, SimTime::ZERO, b, off, 64, DmaPath::DmaEngine);
+            if d == 0 {
+                last = last.max(r.done);
+            }
+        }
+    }
+    txns as f64 * 64.0 * 8.0 / last.as_secs_f64() / 1e9
+}
+
+#[test]
+fn x1_no_iommu_devices_scale_mostly_independently() {
+    let solo = multi_bw(1, false, 4_000);
+    let four = multi_bw(4, false, 4_000);
+    assert!(
+        four > solo * 0.80,
+        "separate links: solo {solo:.1}, 4-device {four:.1}"
+    );
+}
+
+#[test]
+fn x1_shared_iotlb_collapses_under_contention() {
+    let solo = multi_bw(1, true, 4_000);
+    let four = multi_bw(4, true, 4_000);
+    assert!(
+        four < solo * 0.40,
+        "shared IO-TLB must collapse: solo {solo:.1}, 4-device {four:.1}"
+    );
+}
+
+// ---------- X2: link generations ----------
+
+#[test]
+fn x2_bandwidth_scales_with_link_generation() {
+    let bw = |link: LinkConfig| {
+        let setup = BenchSetup {
+            link,
+            device: DeviceParams::nic_dma_engine(),
+            ..BenchSetup::netfpga_hsw()
+        };
+        run_bandwidth(
+            &setup,
+            &BenchParams::baseline(1024),
+            BwOp::Wr,
+            5_000,
+            DmaPath::DmaEngine,
+        )
+        .gbps
+    };
+    let g3x8 = bw(LinkConfig::gen3_x8());
+    let g4x16 = bw(LinkConfig::gen4_x16());
+    let ratio = g4x16 / g3x8;
+    assert!(
+        (3.4..=4.4).contains(&ratio),
+        "Gen4 x16 / Gen3 x8 = {ratio:.2} (expect ~4x: {g3x8:.1} -> {g4x16:.1})"
+    );
+}
+
+#[test]
+fn x2_mps_amortises_headers() {
+    let bw = |mps: u32| {
+        let link = LinkConfig {
+            mps,
+            ..LinkConfig::gen3_x8()
+        };
+        let setup = BenchSetup {
+            link,
+            device: DeviceParams::nic_dma_engine(),
+            ..BenchSetup::netfpga_hsw()
+        };
+        run_bandwidth(
+            &setup,
+            &BenchParams::baseline(1024),
+            BwOp::Wr,
+            5_000,
+            DmaPath::DmaEngine,
+        )
+        .gbps
+    };
+    let small = bw(128);
+    let large = bw(512);
+    assert!(
+        large > small * 1.06,
+        "MPS 512 ({large:.1}) should beat MPS 128 ({small:.1}) by header amortisation"
+    );
+}
+
+// ---------- X3: unaligned DMA ----------
+
+#[test]
+fn x3_unaligned_reads_cost_bandwidth() {
+    let setup = BenchSetup::netfpga_hsw();
+    let bw = |offset: u32| {
+        let p = BenchParams {
+            offset,
+            ..BenchParams::baseline(512)
+        };
+        run_bandwidth(&setup, &p, BwOp::Rd, 6_000, DmaPath::DmaEngine).gbps
+    };
+    let aligned = bw(0);
+    let unaligned = bw(33);
+    assert!(
+        unaligned < aligned * 0.98,
+        "offset 33 must cost bandwidth: {aligned:.2} -> {unaligned:.2}"
+    );
+}
+
+// ---------- X4: super-pages (the §7 recommendation, full path) ----------
+
+#[test]
+fn x4_superpage_reach_is_128mib() {
+    let mut iommu = Iommu::intel_superpages();
+    assert_eq!(iommu.tlb_reach(), 128 << 20);
+    // 100 MiB working set at 2 MiB granularity: second sweep all-hit.
+    for i in 0..50u64 {
+        iommu.translate(SimTime::ZERO, i * (2 << 20), 64);
+    }
+    for i in 0..50u64 {
+        assert!(iommu.translate(SimTime::ZERO, i * (2 << 20), 64).tlb_hit);
+    }
+}

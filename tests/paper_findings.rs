@@ -1,0 +1,485 @@
+//! End-to-end reproduction of the paper's §6 findings — one test per
+//! claim, at reduced transaction counts (the figure binaries run the
+//! full versions).
+
+use pcie_bench_repro::bench::{
+    run_bandwidth, run_latency, BenchParams, BenchSetup, BwOp, CacheState, IommuMode, LatOp,
+    Pattern,
+};
+use pcie_bench_repro::device::DmaPath;
+use pcie_bench_repro::host::presets::NumaPlacement;
+
+fn params(window: u64, transfer: u32, cache: CacheState) -> BenchParams {
+    BenchParams {
+        window,
+        transfer,
+        offset: 0,
+        pattern: Pattern::Random,
+        cache,
+        placement: NumaPlacement::Local,
+    }
+}
+
+// ---------- §6.3 / Figure 7: caching and DDIO ----------
+
+#[test]
+fn fig7_lat_rd_cold_flat_across_windows() {
+    let setup = BenchSetup::nfp6000_snb();
+    let small = run_latency(
+        &setup,
+        &params(4 << 10, 8, CacheState::Cold),
+        LatOp::Rd,
+        800,
+        DmaPath::CommandIf,
+    );
+    let large = run_latency(
+        &setup,
+        &params(32 << 20, 8, CacheState::Cold),
+        LatOp::Rd,
+        800,
+        DmaPath::CommandIf,
+    );
+    assert!(
+        (small.summary.median - large.summary.median).abs() < 25.0,
+        "cold reads are all DRAM: {} vs {}",
+        small.summary.median,
+        large.summary.median
+    );
+}
+
+#[test]
+fn fig7_lat_rd_warm_knee_at_llc_capacity() {
+    let setup = BenchSetup::nfp6000_snb();
+    let resident = run_latency(
+        &setup,
+        &params(1 << 20, 8, CacheState::HostWarm),
+        LatOp::Rd,
+        800,
+        DmaPath::CommandIf,
+    );
+    let beyond = run_latency(
+        &setup,
+        &params(64 << 20, 8, CacheState::HostWarm),
+        LatOp::Rd,
+        800,
+        DmaPath::CommandIf,
+    );
+    let delta = beyond.summary.median - resident.summary.median;
+    assert!(
+        (40.0..100.0).contains(&delta),
+        "LLC->DRAM knee should be ~70ns, got {delta}"
+    );
+}
+
+#[test]
+fn fig7_wrrd_cold_ddio_partition_knee() {
+    let setup = BenchSetup::nfp6000_snb();
+    // Within the DDIO partition (1.5MiB on this 15MiB LLC).
+    let within = run_latency(
+        &setup,
+        &params(256 << 10, 8, CacheState::Cold),
+        LatOp::WrRd,
+        12_000,
+        DmaPath::CommandIf,
+    );
+    // Far beyond it: the benchmark's own dirty lines get flushed.
+    let beyond = run_latency(
+        &setup,
+        &params(8 << 20, 8, CacheState::Cold),
+        LatOp::WrRd,
+        50_000,
+        DmaPath::CommandIf,
+    );
+    let delta = beyond.summary.median - within.summary.median;
+    assert!(
+        (35.0..110.0).contains(&delta),
+        "DDIO flush penalty expected (~70ns), got {delta}"
+    );
+}
+
+#[test]
+fn fig7_bw_wr_flat_across_windows() {
+    let setup = BenchSetup::nfp6000_snb();
+    let small = run_bandwidth(
+        &setup,
+        &params(8 << 10, 64, CacheState::Cold),
+        BwOp::Wr,
+        8_000,
+        DmaPath::DmaEngine,
+    );
+    let large = run_bandwidth(
+        &setup,
+        &params(32 << 20, 64, CacheState::Cold),
+        BwOp::Wr,
+        8_000,
+        DmaPath::DmaEngine,
+    );
+    let ratio = large.gbps / small.gbps;
+    assert!(
+        (0.93..=1.07).contains(&ratio),
+        "BW_WR must not depend on window size: {:.2} vs {:.2}",
+        small.gbps,
+        large.gbps
+    );
+}
+
+#[test]
+fn fig7_bw_rd_warm_benefit_only_for_small_transfers() {
+    // §6.3: "For 64B DMA Reads there is a measurable benefit if the
+    // data is already resident ... from 512B DMA Reads onwards, there
+    // is no measurable difference."
+    let setup = BenchSetup::nfp6000_snb();
+    for (sz, expect_benefit) in [(64u32, true), (512, false)] {
+        let warm = run_bandwidth(
+            &setup,
+            &params(64 << 10, sz, CacheState::HostWarm),
+            BwOp::Rd,
+            8_000,
+            DmaPath::DmaEngine,
+        );
+        let cold = run_bandwidth(
+            &setup,
+            &params(64 << 10, sz, CacheState::Cold),
+            BwOp::Rd,
+            8_000,
+            DmaPath::DmaEngine,
+        );
+        let gain = warm.gbps / cold.gbps - 1.0;
+        if expect_benefit {
+            assert!(gain > 0.05, "{sz}B: warm should win, gain {gain:.3}");
+        } else {
+            assert!(
+                gain.abs() < 0.05,
+                "{sz}B: no difference expected, gain {gain:.3}"
+            );
+        }
+    }
+}
+
+// ---------- §6.4 / Figure 8: NUMA ----------
+
+#[test]
+fn fig8_remote_hurts_small_reads_not_large() {
+    let setup = BenchSetup::nfp6000_bdw();
+    let p = |sz, placement| BenchParams {
+        window: 64 << 10,
+        transfer: sz,
+        offset: 0,
+        pattern: Pattern::Random,
+        cache: CacheState::HostWarm,
+        placement,
+    };
+    let l64 = run_bandwidth(
+        &setup,
+        &p(64, NumaPlacement::Local),
+        BwOp::Rd,
+        8_000,
+        DmaPath::DmaEngine,
+    );
+    let r64 = run_bandwidth(
+        &setup,
+        &p(64, NumaPlacement::Remote),
+        BwOp::Rd,
+        8_000,
+        DmaPath::DmaEngine,
+    );
+    let l512 = run_bandwidth(
+        &setup,
+        &p(512, NumaPlacement::Local),
+        BwOp::Rd,
+        8_000,
+        DmaPath::DmaEngine,
+    );
+    let r512 = run_bandwidth(
+        &setup,
+        &p(512, NumaPlacement::Remote),
+        BwOp::Rd,
+        8_000,
+        DmaPath::DmaEngine,
+    );
+    assert!(
+        r64.gbps < 0.90 * l64.gbps,
+        "64B: {} vs {}",
+        r64.gbps,
+        l64.gbps
+    );
+    assert!(
+        r512.gbps > 0.95 * l512.gbps,
+        "512B: {} vs {}",
+        r512.gbps,
+        l512.gbps
+    );
+}
+
+#[test]
+fn fig8_writes_insensitive_to_locality() {
+    // §6.4: "The throughput of DMA Writes does not seem to be affected
+    // by the locality of the host buffer."
+    let setup = BenchSetup::nfp6000_bdw();
+    let p = |placement| BenchParams {
+        window: 64 << 10,
+        transfer: 64,
+        offset: 0,
+        pattern: Pattern::Random,
+        cache: CacheState::HostWarm,
+        placement,
+    };
+    let local = run_bandwidth(
+        &setup,
+        &p(NumaPlacement::Local),
+        BwOp::Wr,
+        8_000,
+        DmaPath::DmaEngine,
+    );
+    let remote = run_bandwidth(
+        &setup,
+        &p(NumaPlacement::Remote),
+        BwOp::Wr,
+        8_000,
+        DmaPath::DmaEngine,
+    );
+    assert!(
+        (remote.gbps / local.gbps - 1.0).abs() < 0.05,
+        "{} vs {}",
+        remote.gbps,
+        local.gbps
+    );
+}
+
+#[test]
+fn fig8_remote_latency_penalty_about_100ns() {
+    let setup = BenchSetup::nfp6000_bdw();
+    let p = |placement| BenchParams {
+        window: 8 << 10,
+        transfer: 64,
+        offset: 0,
+        pattern: Pattern::Random,
+        cache: CacheState::HostWarm,
+        placement,
+    };
+    let local = run_latency(
+        &setup,
+        &p(NumaPlacement::Local),
+        LatOp::Rd,
+        1_000,
+        DmaPath::DmaEngine,
+    );
+    let remote = run_latency(
+        &setup,
+        &p(NumaPlacement::Remote),
+        LatOp::Rd,
+        1_000,
+        DmaPath::DmaEngine,
+    );
+    let delta = remote.summary.median - local.summary.median;
+    assert!(
+        (70.0..150.0).contains(&delta),
+        "remote adds ~100ns, got {delta}"
+    );
+}
+
+// ---------- §6.5 / Figure 9: IOMMU ----------
+
+#[test]
+fn fig9_iotlb_knee_at_256kib() {
+    let off = BenchSetup::nfp6000_bdw();
+    let on = BenchSetup::nfp6000_bdw().with_iommu(IommuMode::FourK);
+    // Inside the reach: no impact.
+    let base_in = run_bandwidth(
+        &off,
+        &params(128 << 10, 64, CacheState::HostWarm),
+        BwOp::Rd,
+        8_000,
+        DmaPath::DmaEngine,
+    );
+    let io_in = run_bandwidth(
+        &on,
+        &params(128 << 10, 64, CacheState::HostWarm),
+        BwOp::Rd,
+        8_000,
+        DmaPath::DmaEngine,
+    );
+    assert!(io_in.gbps > 0.93 * base_in.gbps);
+    // Past the reach: collapse.
+    let base_out = run_bandwidth(
+        &off,
+        &params(8 << 20, 64, CacheState::HostWarm),
+        BwOp::Rd,
+        8_000,
+        DmaPath::DmaEngine,
+    );
+    let io_out = run_bandwidth(
+        &on,
+        &params(8 << 20, 64, CacheState::HostWarm),
+        BwOp::Rd,
+        8_000,
+        DmaPath::DmaEngine,
+    );
+    let drop = io_out.gbps / base_out.gbps - 1.0;
+    assert!(
+        drop < -0.45,
+        "64B drop past the IO-TLB reach should be large, got {drop:.2}"
+    );
+}
+
+#[test]
+fn fig9_512b_transfers_unaffected() {
+    let off = BenchSetup::nfp6000_bdw();
+    let on = BenchSetup::nfp6000_bdw().with_iommu(IommuMode::FourK);
+    let base = run_bandwidth(
+        &off,
+        &params(8 << 20, 512, CacheState::HostWarm),
+        BwOp::Rd,
+        8_000,
+        DmaPath::DmaEngine,
+    );
+    let io = run_bandwidth(
+        &on,
+        &params(8 << 20, 512, CacheState::HostWarm),
+        BwOp::Rd,
+        8_000,
+        DmaPath::DmaEngine,
+    );
+    assert!(
+        io.gbps > 0.93 * base.gbps,
+        "512B: {} vs {}",
+        io.gbps,
+        base.gbps
+    );
+}
+
+#[test]
+fn fig9_superpages_restore_throughput() {
+    let off = BenchSetup::nfp6000_bdw();
+    let sp = BenchSetup::nfp6000_bdw().with_iommu(IommuMode::SuperPages);
+    let base = run_bandwidth(
+        &off,
+        &params(8 << 20, 64, CacheState::HostWarm),
+        BwOp::Rd,
+        8_000,
+        DmaPath::DmaEngine,
+    );
+    let io = run_bandwidth(
+        &sp,
+        &params(8 << 20, 64, CacheState::HostWarm),
+        BwOp::Rd,
+        8_000,
+        DmaPath::DmaEngine,
+    );
+    assert!(io.gbps > 0.93 * base.gbps, "{} vs {}", io.gbps, base.gbps);
+}
+
+#[test]
+fn iotlb_miss_costs_about_330ns() {
+    let on = BenchSetup::nfp6000_bdw().with_iommu(IommuMode::FourK);
+    let hit = run_latency(
+        &on,
+        &params(64 << 10, 64, CacheState::HostWarm),
+        LatOp::Rd,
+        1_000,
+        DmaPath::DmaEngine,
+    );
+    let miss = run_latency(
+        &on,
+        &params(64 << 20, 64, CacheState::HostWarm),
+        LatOp::Rd,
+        1_000,
+        DmaPath::DmaEngine,
+    );
+    let delta = miss.summary.median - hit.summary.median;
+    assert!(
+        (250.0..420.0).contains(&delta),
+        "walk cost ~330ns, got {delta}"
+    );
+}
+
+// ---------- §6.2 / Figure 6: the Xeon E3 anomaly ----------
+
+#[test]
+fn fig6_e3_writes_never_reach_40g() {
+    // "for DMA writes, [the E3] never achieves the throughput required
+    // for 40Gb/s Ethernet for any transfer size."
+    let e3 = BenchSetup::nfp6000_hsw_e3();
+    for sz in [64u32, 256, 1024, 2048] {
+        let bw = run_bandwidth(
+            &e3,
+            &BenchParams::baseline(sz),
+            BwOp::Wr,
+            8_000,
+            DmaPath::DmaEngine,
+        );
+        let need = pcie_bench_repro::model::bandwidth::ethernet_required_bandwidth(40e9, sz) / 1e9;
+        assert!(
+            bw.gbps < need,
+            "{sz}B: E3 writes {:.1} Gb/s must stay below the {need:.1} Gb/s requirement",
+            bw.gbps
+        );
+    }
+}
+
+#[test]
+fn fig6_e3_reads_match_e5_only_for_large_transfers() {
+    let e3 = BenchSetup::nfp6000_hsw_e3();
+    let e5 = BenchSetup::nfp6000_hsw();
+    let small_ratio = run_bandwidth(
+        &e3,
+        &BenchParams::baseline(64),
+        BwOp::Rd,
+        8_000,
+        DmaPath::DmaEngine,
+    )
+    .gbps
+        / run_bandwidth(
+            &e5,
+            &BenchParams::baseline(64),
+            BwOp::Rd,
+            8_000,
+            DmaPath::DmaEngine,
+        )
+        .gbps;
+    let large_ratio = run_bandwidth(
+        &e3,
+        &BenchParams::baseline(1024),
+        BwOp::Rd,
+        8_000,
+        DmaPath::DmaEngine,
+    )
+    .gbps
+        / run_bandwidth(
+            &e5,
+            &BenchParams::baseline(1024),
+            BwOp::Rd,
+            8_000,
+            DmaPath::DmaEngine,
+        )
+        .gbps;
+    assert!(small_ratio < 0.85, "64B: E3 behind E5 ({small_ratio:.2})");
+    assert!(
+        large_ratio > 0.90,
+        "1024B: E3 matches E5 ({large_ratio:.2})"
+    );
+}
+
+#[test]
+fn fig6_e3_latency_distribution_shape() {
+    let e3 = run_latency(
+        &BenchSetup::nfp6000_hsw_e3(),
+        &BenchParams::baseline(64),
+        LatOp::Rd,
+        30_000,
+        DmaPath::DmaEngine,
+    );
+    let e5 = run_latency(
+        &BenchSetup::nfp6000_hsw(),
+        &BenchParams::baseline(64),
+        LatOp::Rd,
+        30_000,
+        DmaPath::DmaEngine,
+    );
+    // E5: tight band. E3: median > 2x min, p99 ~ 5x median, ms-scale max.
+    assert!(e5.summary.p999 - e5.summary.min < 150.0);
+    assert!(e3.summary.min < e5.summary.min + 30.0, "E3 min is *lower*");
+    assert!(e3.summary.median > 2.0 * e3.summary.min);
+    assert!(e3.summary.p99 > 3.5 * e3.summary.median);
+    assert!(e3.summary.max > 100_000.0, "tail reaches >100us");
+}
