@@ -4,7 +4,7 @@
 //!
 //! Usage: `cargo run --release --bin fig5_latency_size`
 
-use pcie_bench_harness::{baseline_params, baseline_setups, header, n};
+use pcie_bench_harness::{baseline_params, baseline_setups, header, n, print_stage_breakdown};
 use pcie_device::DmaPath;
 use pciebench::{run_latency, LatOp};
 
@@ -50,14 +50,14 @@ fn main() {
 
     println!("\n# Paper-shape checks:");
     let nfp64 = run_latency(
-        &nfp,
+        &nfp.clone().with_telemetry(),
         &baseline_params(64),
         LatOp::Rd,
         txns,
         DmaPath::DmaEngine,
     );
     let fpga64 = run_latency(
-        &netfpga,
+        &netfpga.clone().with_telemetry(),
         &baseline_params(64),
         LatOp::Rd,
         txns,
@@ -94,4 +94,22 @@ fn main() {
         "#  - NFP command interface 64B LAT_RD: {:.0}ns (paper: same as NetFPGA, {:.0}ns)",
         cmdif.summary.median, fpga64.summary.median
     );
+
+    // Per-stage telemetry for the two 64B baselines: the NFP's extra
+    // ~100ns shows up in the issue/tag-allocation stages, not on the
+    // wire or in the host.
+    for (name, r) in [("NFP6000-HSW", &nfp64), ("NetFPGA-HSW", &fpga64)] {
+        if let Some(snap) = &r.telemetry {
+            println!("\n# --- {name} ---");
+            print_stage_breakdown(snap);
+        }
+    }
+    if let Ok(dir) = std::env::var("PCIE_BENCH_OUT") {
+        let dir = std::path::Path::new(&dir);
+        for (stem, r) in [("fig5_nfp_64", &nfp64), ("fig5_netfpga_64", &fpga64)] {
+            if let Some(snap) = &r.telemetry {
+                pcie_bench_harness::export_snapshot(dir, stem, snap);
+            }
+        }
+    }
 }

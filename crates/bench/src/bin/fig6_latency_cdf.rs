@@ -5,7 +5,7 @@
 //! (The paper journals 2M transactions; default here is 200k —
 //! set `PCIE_BENCH_N=10` to match the paper.)
 
-use pcie_bench_harness::{baseline_params, header, n};
+use pcie_bench_harness::{baseline_params, header, n, print_stage_breakdown};
 use pcie_device::DmaPath;
 use pciebench::{run_latency, BenchSetup, LatOp};
 
@@ -13,14 +13,14 @@ fn main() {
     header("Figure 6: 64B DMA read latency CDF, Xeon E5 vs Xeon E3");
     let txns = n(200_000);
     let e5 = run_latency(
-        &BenchSetup::nfp6000_hsw(),
+        &BenchSetup::nfp6000_hsw().with_telemetry(),
         &baseline_params(64),
         LatOp::Rd,
         txns,
         DmaPath::DmaEngine,
     );
     let e3 = run_latency(
-        &BenchSetup::nfp6000_hsw_e3(),
+        &BenchSetup::nfp6000_hsw_e3().with_telemetry(),
         &baseline_params(64),
         LatOp::Rd,
         txns,
@@ -56,13 +56,26 @@ fn main() {
         );
     }
 
+    // Per-stage telemetry: where the E3's extra latency accrues.
+    for (name, r) in [("NFP6000-HSW", &e5), ("NFP6000-HSW-E3", &e3)] {
+        if let Some(snap) = &r.telemetry {
+            println!("\n# --- {name} ---");
+            print_stage_breakdown(snap);
+        }
+    }
+
     // Optional raw export (PCIE_BENCH_OUT=<dir>): journal, CDF,
-    // histogram and time series per system, like the §5.4 control
-    // program's optional outputs.
+    // histogram, time series and telemetry snapshot per system, like
+    // the §5.4 control program's optional outputs.
     if let Ok(dir) = std::env::var("PCIE_BENCH_OUT") {
         let dir = std::path::Path::new(&dir);
         pciebench::export::write_latency_result(dir, "fig6_e5", &e5, 400).expect("export e5");
         pciebench::export::write_latency_result(dir, "fig6_e3", &e3, 400).expect("export e3");
+        for (stem, r) in [("fig6_e5", &e5), ("fig6_e3", &e3)] {
+            if let Some(snap) = &r.telemetry {
+                pcie_bench_harness::export_snapshot(dir, stem, snap);
+            }
+        }
         println!("\n# raw data exported to {}", dir.display());
     }
 

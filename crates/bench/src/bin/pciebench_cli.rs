@@ -16,7 +16,12 @@
 //!   --path <p>           dma (default) | cmdif
 //!   --count <n>          transactions (default: 2000 latency / 20000 bandwidth)
 //!   --seed <n>           RNG seed
-//!   --out <dir>          export raw journal/CDF/histogram (latency only)
+//!   --telemetry          record per-stage latency attribution and
+//!                        per-component counters; prints the stage
+//!                        breakdown and (with --out) writes the
+//!                        snapshot as JSON and CSV
+//!   --out <dir>          export raw journal/CDF/histogram (latency
+//!                        only) and the telemetry snapshot
 //! ```
 //!
 //! Example: `pciebench_cli BW_RD --size 64 --window 64m --iommu 4k`
@@ -36,7 +41,7 @@ fn usage() -> ! {
 const HELP: &str = "usage: pciebench_cli <LAT_RD|LAT_WRRD|BW_RD|BW_WR|BW_RDWR> \
 [--system S] [--size N] [--window N[k|m]] [--offset N] [--pattern random|sequential] \
 [--cache warm|cold|device-warm] [--numa local|remote] [--iommu off|4k|superpages] \
-[--path dma|cmdif] [--count N] [--seed N] [--out DIR]";
+[--path dma|cmdif] [--count N] [--seed N] [--telemetry] [--out DIR]";
 
 fn parse_bytes(s: &str) -> Option<u64> {
     let lower = s.to_ascii_lowercase();
@@ -76,6 +81,7 @@ fn main() {
     let mut path = DmaPath::DmaEngine;
     let mut count: Option<usize> = None;
     let mut seed: Option<u64> = None;
+    let mut telemetry = false;
     let mut out: Option<String> = None;
 
     let mut it = args[1..].iter();
@@ -125,6 +131,7 @@ fn main() {
             }
             "--count" => count = Some(val().parse().unwrap_or_else(|_| usage())),
             "--seed" => seed = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--telemetry" => telemetry = true,
             "--out" => out = Some(val().to_string()),
             _ => usage(),
         }
@@ -142,6 +149,9 @@ fn main() {
     .with_iommu(iommu);
     if let Some(s) = seed {
         setup = setup.with_seed(s);
+    }
+    if telemetry {
+        setup = setup.with_telemetry();
     }
     let params = BenchParams {
         window,
@@ -193,11 +203,17 @@ fn main() {
                 "{}: n={} median={:.0}ns avg={:.0}ns min={:.0}ns p95={:.0}ns p99={:.0}ns p99.9={:.0}ns max={:.0}ns",
                 op.name(), s.count, s.median, s.avg, s.min, s.p95, s.p99, s.p999, s.max
             );
+            if let Some(snap) = &r.telemetry {
+                pcie_bench_harness::print_stage_breakdown(snap);
+            }
             if let Some(dir) = out {
                 let stem = format!("{}_{}B", op.name().to_ascii_lowercase(), size);
                 pciebench::export::write_latency_result(std::path::Path::new(&dir), &stem, &r, 400)
                     .expect("export failed");
                 println!("# raw data in {dir}/{stem}.{{journal,cdf,hist,timeseries}}");
+                if let Some(snap) = &r.telemetry {
+                    pcie_bench_harness::export_snapshot(std::path::Path::new(&dir), &stem, snap);
+                }
             }
         }
         "BW_RD" | "BW_WR" | "BW_RDWR" => {
@@ -217,6 +233,13 @@ fn main() {
                 r.dll_overhead.0 * 100.0,
                 r.dll_overhead.1 * 100.0
             );
+            if let Some(snap) = &r.telemetry {
+                pcie_bench_harness::print_stage_breakdown(snap);
+                if let Some(dir) = out {
+                    let stem = format!("{}_{}B", op.name().to_ascii_lowercase(), size);
+                    pcie_bench_harness::export_snapshot(std::path::Path::new(&dir), &stem, snap);
+                }
+            }
         }
         _ => usage(),
     }

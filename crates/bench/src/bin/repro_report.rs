@@ -6,7 +6,7 @@
 //!
 //! Usage: `cargo run --release --bin repro_report`
 
-use pcie_bench_harness::{header, n};
+use pcie_bench_harness::{export_snapshot, header, n, print_stage_breakdown};
 use pcie_device::DmaPath;
 use pcie_host::presets::NumaPlacement;
 use pcie_model::bandwidth as model;
@@ -288,11 +288,40 @@ fn main() {
         sp > 0.93 * off,
     );
 
+    // Cross-layer telemetry: per-stage latency attribution must
+    // reconcile with the end-to-end measurement (the breakdown is only
+    // trustworthy if the stage contributions sum to what was measured).
+    let telem = run_latency(
+        &nfp.clone().with_telemetry(),
+        &BenchParams::baseline(64),
+        LatOp::Rd,
+        nl,
+        DmaPath::DmaEngine,
+    );
+    let snap = telem.telemetry.as_ref().expect("telemetry enabled");
+    let st = snap.stages().expect("stage report");
+    let ratio = st.stage_total_ns() / st.end_to_end_total_ns;
+    r.add(
+        "Telemetry: stage sums reconcile end-to-end",
+        "ratio 1.000000",
+        format!("ratio {ratio:.6}"),
+        (ratio - 1.0).abs() < 1e-6,
+    );
+
     print!(
         "{}",
         format_table(&["claim", "paper", "measured", "verdict"], &r.rows)
     );
     println!("\n{} claims checked, {} failed", r.rows.len(), r.failures);
+
+    header("Cross-layer telemetry snapshot (NFP6000-HSW, 64B LAT_RD)");
+    print_stage_breakdown(snap);
+    println!("\n# JSON snapshot (same data as `pciebench_cli --telemetry --out`):");
+    print!("{}", snap.to_json());
+    if let Ok(dir) = std::env::var("PCIE_BENCH_OUT") {
+        export_snapshot(std::path::Path::new(&dir), "repro_lat_rd_64", snap);
+    }
+
     if r.failures > 0 {
         std::process::exit(1);
     }

@@ -28,7 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pciebench::{BenchParams, BenchSetup};
+use pciebench::{BenchParams, BenchSetup, Snapshot};
 
 /// Transaction-count scale factor from the `PCIE_BENCH_N` environment
 /// variable (default 1.0). Figures use `(base as f64 * scale) as usize`.
@@ -65,6 +65,55 @@ pub fn header(title: &str) {
     println!("\n================================================================");
     println!("{title}");
     println!("================================================================");
+}
+
+/// Prints a telemetry snapshot's per-stage latency breakdown as a
+/// commented table: total / mean / share per pipeline stage, plus the
+/// reconciliation against the end-to-end histogram.
+pub fn print_stage_breakdown(snap: &Snapshot) {
+    let Some(st) = snap.stages() else {
+        return;
+    };
+    println!(
+        "# telemetry [{}]: {} transactions, mean end-to-end {:.0}ns",
+        snap.label, st.transactions, st.end_to_end_mean_ns
+    );
+    println!(
+        "# {:>18} {:>14} {:>10} {:>7}",
+        "stage", "total_ns", "mean_ns", "share"
+    );
+    let denom = if st.end_to_end_total_ns > 0.0 {
+        st.end_to_end_total_ns
+    } else {
+        1.0
+    };
+    for &(name, total, mean, _) in &st.rows {
+        println!(
+            "# {:>18} {:>14.0} {:>10.1} {:>6.1}%",
+            name,
+            total,
+            mean,
+            100.0 * total / denom
+        );
+    }
+    println!(
+        "# {:>18} {:>14.0} {:>10.1} {:>6.1}%  (stage sum / end-to-end = {:.6})",
+        "end_to_end",
+        st.end_to_end_total_ns,
+        st.end_to_end_mean_ns,
+        100.0,
+        st.stage_total_ns() / denom
+    );
+}
+
+/// Writes a snapshot as `<stem>.telemetry.json` and
+/// `<stem>.telemetry.csv` under `dir`, reporting the paths on stdout.
+pub fn export_snapshot(dir: &std::path::Path, stem: &str, snap: &Snapshot) {
+    let json = dir.join(format!("{stem}.telemetry.json"));
+    let csv = dir.join(format!("{stem}.telemetry.csv"));
+    pciebench::export::write_snapshot_json(&json, snap).expect("telemetry json export");
+    pciebench::export::write_snapshot_csv(&csv, snap).expect("telemetry csv export");
+    println!("# telemetry snapshot in {} and {}", json.display(), csv.display());
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@ use crate::setup::BenchSetup;
 use pcie_device::DmaPath;
 use pcie_link::Direction;
 use pcie_sim::SimTime;
+use pcie_telemetry::Snapshot;
 
 /// Which bandwidth benchmark to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +55,9 @@ pub struct BwResult {
     pub elapsed: SimTime,
     /// DLL overhead fraction observed on (upstream, downstream).
     pub dll_overhead: (f64, f64),
+    /// Cross-layer telemetry snapshot, present when the setup was
+    /// built [`BenchSetup::with_telemetry`].
+    pub telemetry: Option<Snapshot>,
 }
 
 /// Runs a bandwidth benchmark of `n` transactions.
@@ -97,6 +101,10 @@ pub fn run_bandwidth(
     let mtps = n as f64 / elapsed.as_secs_f64() / 1e6;
     let up = platform.link().counters(Direction::Upstream);
     let down = platform.link().counters(Direction::Downstream);
+    let dll_overhead = (up.dll_overhead_fraction(), down.dll_overhead_fraction());
+    let telemetry = platform
+        .telemetry_enabled()
+        .then(|| platform.telemetry_snapshot(format!("{}/{}", op.name(), params.transfer)));
     BwResult {
         op,
         params: *params,
@@ -104,7 +112,8 @@ pub fn run_bandwidth(
         gbps,
         mtps,
         elapsed,
-        dll_overhead: (up.dll_overhead_fraction(), down.dll_overhead_fraction()),
+        dll_overhead,
+        telemetry,
     }
 }
 

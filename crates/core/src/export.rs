@@ -4,6 +4,7 @@
 
 use crate::lat::LatencyResult;
 use crate::stats::{Cdf, LogHistogram};
+use pcie_telemetry::Snapshot;
 use std::fs;
 use std::io::{self, Write};
 use std::path::Path;
@@ -86,6 +87,18 @@ pub fn write_latency_result(
         &ts,
     )?;
     Ok(())
+}
+
+/// Writes a telemetry snapshot as pretty-printed JSON.
+pub fn write_snapshot_json(path: &Path, snapshot: &Snapshot) -> io::Result<()> {
+    let mut f = create(path)?;
+    f.write_all(snapshot.to_json().as_bytes())
+}
+
+/// Writes a telemetry snapshot as `section,component,name,value` CSV.
+pub fn write_snapshot_csv(path: &Path, snapshot: &Snapshot) -> io::Result<()> {
+    let mut f = create(path)?;
+    f.write_all(snapshot.to_csv().as_bytes())
 }
 
 /// Down-samples a journal into at most `max_points` `(index, value)`

@@ -12,6 +12,7 @@ use crate::setup::BenchSetup;
 use crate::stats::{Cdf, Summary};
 use pcie_device::DmaPath;
 use pcie_sim::SimTime;
+use pcie_telemetry::Snapshot;
 
 /// Which latency benchmark to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +45,11 @@ pub struct LatencyResult {
     pub samples_ns: Vec<f64>,
     /// Summary statistics.
     pub summary: Summary,
+    /// Cross-layer telemetry snapshot, present when the setup was
+    /// built [`BenchSetup::with_telemetry`]. Includes the per-stage
+    /// latency breakdown whose contributions sum to the end-to-end
+    /// latency.
+    pub telemetry: Option<Snapshot>,
 }
 
 impl LatencyResult {
@@ -80,11 +86,15 @@ pub fn run_latency(
         now = r.done + JOURNAL_GAP;
     }
     let summary = Summary::from_samples(&samples);
+    let telemetry = platform
+        .telemetry_enabled()
+        .then(|| platform.telemetry_snapshot(format!("{}/{}", op.name(), params.transfer)));
     LatencyResult {
         op,
         params: *params,
         samples_ns: samples,
         summary,
+        telemetry,
     }
 }
 
@@ -156,6 +166,32 @@ mod tests {
             LatOp::Rd,
         );
         assert_ne!(a.samples_ns, c.samples_ns);
+    }
+
+    #[test]
+    fn telemetry_snapshot_rides_along_when_enabled() {
+        let setup = BenchSetup::netfpga_hsw();
+        let plain = quick(&setup, &BenchParams::baseline(64), LatOp::Rd);
+        assert!(plain.telemetry.is_none(), "off by default");
+
+        let setup = setup.with_telemetry();
+        let r = quick(&setup, &BenchParams::baseline(64), LatOp::Rd);
+        let snap = r.telemetry.as_ref().expect("snapshot present");
+        assert_eq!(snap.label, "LAT_RD/64");
+        let st = snap.stages().expect("stage report");
+        assert_eq!(st.transactions, 400);
+        // Per-stage totals reconcile with the end-to-end histogram.
+        assert!(
+            (st.stage_total_ns() - st.end_to_end_total_ns).abs()
+                < 1e-6 * st.end_to_end_total_ns,
+            "stage sum {} vs end-to-end {}",
+            st.stage_total_ns(),
+            st.end_to_end_total_ns
+        );
+        // Wire counters present: 400 MRd TLPs upstream.
+        assert_eq!(snap.group("link.upstream").unwrap().get("tlps"), Some(400));
+        // And telemetry does not perturb the measurement itself.
+        assert_eq!(plain.samples_ns, r.samples_ns);
     }
 
     #[test]

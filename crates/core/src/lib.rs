@@ -41,3 +41,7 @@ pub use lat::{run_latency, LatOp, LatencyResult};
 pub use params::{BenchParams, CacheState, Pattern};
 pub use setup::{BenchSetup, IommuMode};
 pub use stats::Summary;
+
+/// Re-exported from `pcie-telemetry`: the snapshot type carried by
+/// [`LatencyResult::telemetry`] / [`BwResult::telemetry`].
+pub use pcie_telemetry::{Snapshot, Stage, StageReport};

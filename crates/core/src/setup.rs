@@ -34,6 +34,10 @@ pub struct BenchSetup {
     pub iommu: IommuMode,
     /// Master RNG seed (runs are bit-reproducible per seed).
     pub seed: u64,
+    /// Whether built platforms record per-stage latency attribution
+    /// (`pcie-telemetry`). Off by default: disabled telemetry costs
+    /// one untaken branch per DMA.
+    pub telemetry: bool,
 }
 
 impl BenchSetup {
@@ -46,6 +50,7 @@ impl BenchSetup {
             timing: LinkTiming::default(),
             iommu: IommuMode::Off,
             seed: 0x9e3779b9,
+            telemetry: false,
         }
     }
 
@@ -102,6 +107,12 @@ impl BenchSetup {
         self
     }
 
+    /// With per-stage telemetry recording enabled on built platforms.
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
+        self
+    }
+
     /// Instantiates the platform and host buffer for `params`,
     /// applying NUMA placement, IOMMU mode and cache warming.
     pub fn build(&self, params: &BenchParams) -> (Platform, HostBuffer) {
@@ -126,6 +137,9 @@ impl BenchSetup {
             IommuMode::SuperPages => Some(Iommu::intel_superpages()),
         });
         let mut platform = Platform::new(self.device, host, self.link, self.timing);
+        if self.telemetry {
+            platform.enable_telemetry();
+        }
         match params.cache {
             // A freshly built cache is cold; thrashing is a no-op here
             // but kept for semantic clarity.

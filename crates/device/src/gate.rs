@@ -22,6 +22,8 @@ pub struct SlotGate {
     /// Total waiting time accumulated by acquires (diagnostics).
     wait_accum: SimTime,
     acquires: u64,
+    /// Acquires that had to wait for a release (stalled).
+    stalls: u64,
 }
 
 impl SlotGate {
@@ -33,6 +35,7 @@ impl SlotGate {
             releases: BinaryHeap::new(),
             wait_accum: SimTime::ZERO,
             acquires: 0,
+            stalls: 0,
         }
     }
 
@@ -51,6 +54,9 @@ impl SlotGate {
         }
         let Reverse(earliest) = self.releases.pop().expect("non-empty at capacity");
         let t = now.max(SimTime::from_ps(earliest));
+        if t > now {
+            self.stalls += 1;
+        }
         self.wait_accum += t.saturating_sub(now);
         t
     }
@@ -90,11 +96,27 @@ impl SlotGate {
         }
     }
 
+    /// Total acquires (diagnostics).
+    pub fn acquires(&self) -> u64 {
+        self.acquires
+    }
+
+    /// Acquires that stalled waiting for a slot (diagnostics).
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Total time spent waiting across all acquires (diagnostics).
+    pub fn total_wait(&self) -> SimTime {
+        self.wait_accum
+    }
+
     /// Empties the gate (all slots free, stats cleared).
     pub fn reset(&mut self) {
         self.releases.clear();
         self.wait_accum = SimTime::ZERO;
         self.acquires = 0;
+        self.stalls = 0;
     }
 }
 
@@ -145,6 +167,9 @@ mod tests {
         g.acquire_until(ns(0), ns(100));
         g.acquire_until(ns(0), ns(200));
         assert_eq!(g.mean_wait(), ns(50)); // (0 + 100) / 2
+        assert_eq!(g.acquires(), 2);
+        assert_eq!(g.stalls(), 1, "only the second acquire waited");
+        assert_eq!(g.total_wait(), ns(100));
     }
 
     #[test]

@@ -31,6 +31,7 @@ use pcie_host::{HostBuffer, HostSystem};
 use pcie_link::{Direction, Link, LinkTiming};
 use pcie_model::config::LinkConfig;
 use pcie_sim::{SimTime, Timeline};
+use pcie_telemetry::{CounterGroup, Snapshot, Stage, StageReport, StageSample, StageStats};
 use pcie_tlp::split;
 use pcie_tlp::types::TlpType;
 
@@ -82,6 +83,13 @@ pub struct DeviceEngine {
     posted_credits: SlotGate,
     nonposted_credits: SlotGate,
     cmdif_slots: SlotGate,
+    /// Per-stage latency attribution; `None` (the default) costs one
+    /// untaken branch per DMA — see `pcie-telemetry`'s
+    /// zero-cost-when-disabled contract.
+    telem: Option<Box<StageStats>>,
+    dma_reads: u64,
+    dma_writes: u64,
+    dma_write_reads: u64,
 }
 
 impl DeviceEngine {
@@ -99,7 +107,28 @@ impl DeviceEngine {
             posted_credits: SlotGate::new(POSTED_HDR_CREDITS),
             nonposted_credits: SlotGate::new(NONPOSTED_HDR_CREDITS),
             cmdif_slots: SlotGate::new(cmdif_cap),
+            telem: None,
+            dma_reads: 0,
+            dma_writes: 0,
+            dma_write_reads: 0,
         }
+    }
+
+    /// Turns on per-stage latency attribution for subsequent DMAs.
+    pub fn enable_telemetry(&mut self) {
+        if self.telem.is_none() {
+            self.telem = Some(Box::new(StageStats::new()));
+        }
+    }
+
+    /// Whether stage attribution is enabled.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telem.is_some()
+    }
+
+    /// The accumulated stage attribution, if enabled.
+    pub fn stage_stats(&self) -> Option<&StageStats> {
+        self.telem.as_deref()
     }
 
     /// The device parameters.
@@ -136,8 +165,9 @@ impl DeviceEngine {
                 t
             }
         };
-        let done = self.read_after(host, t0, buf, offset, len, path);
+        let done = self.read_after(host, issued, t0, buf, offset, len, path);
         self.workers.release_at(done);
+        self.dma_reads += 1;
         DmaResult {
             issued,
             done,
@@ -160,6 +190,7 @@ impl DeviceEngine {
         let issued = self.workers.acquire(want);
         let (done, absorbed) = self.write_inner(host, issued, buf, offset, len, path);
         self.workers.release_at(done);
+        self.dma_writes += 1;
         DmaResult {
             issued,
             done,
@@ -228,11 +259,15 @@ impl DeviceEngine {
             DmaPath::DmaEngine => {
                 let prep = write_done.max(issued + self.dev.dma_issue_overhead);
                 let t0 = self.issue_port.reserve(prep, self.dev.issue_gap).end;
-                self.read_after(host, t0, buf, offset, len, path)
+                // The read's Issue stage absorbs the preceding write.
+                self.read_after(host, issued, t0, buf, offset, len, path)
             }
-            DmaPath::CommandIf => self.read_after(host, write_done, buf, offset, len, path),
+            DmaPath::CommandIf => {
+                self.read_after(host, issued, write_done, buf, offset, len, path)
+            }
         };
         self.workers.release_at(read);
+        self.dma_write_reads += 1;
         DmaResult {
             issued,
             done: read,
@@ -241,9 +276,18 @@ impl DeviceEngine {
     }
 
     /// Read issue path shared with `dma_write_read` (no worker gate).
+    ///
+    /// `issued` is the worker-acquisition instant; when telemetry is
+    /// enabled the *critical* (last-completing) chunk's boundary
+    /// timestamps are recorded as a [`StageSample`]. The timestamps
+    /// telescope — `issued → t0 → np_at → req_arrival → ready →
+    /// last_arrival → done` — so the sample's stage durations sum
+    /// exactly to the end-to-end latency `done - issued`.
+    #[allow(clippy::too_many_arguments)]
     fn read_after(
         &mut self,
         host: &mut HostSystem,
+        issued: SimTime,
         t0: SimTime,
         buf: &HostBuffer,
         offset: u64,
@@ -253,6 +297,9 @@ impl DeviceEngine {
         let addr = buf.addr(offset);
         let cfg = *self.link.config();
         let mut data_done = t0;
+        // Boundary timestamps of the critical chunk (np_at,
+        // req_arrival, ready); only tracked when telemetry is on.
+        let mut critical: Option<(SimTime, SimTime, SimTime)> = None;
         for chunk in split::split_read_requests(addr, len, cfg.mrrs) {
             let tag_at = self.read_tags.acquire(t0);
             let np_at = self.nonposted_credits.acquire(tag_at);
@@ -270,13 +317,28 @@ impl DeviceEngine {
                         .send_tlp(Direction::Downstream, TlpType::CplD, cpl.len, ready);
             }
             self.read_tags.release_at(last_arrival);
+            if self.telem.is_some() && last_arrival >= data_done {
+                critical = Some((np_at, req_arrival, ready));
+            }
             data_done = data_done.max(last_arrival);
         }
         let internal = match path {
             DmaPath::DmaEngine => self.dev.internal_copy(len),
             DmaPath::CommandIf => SimTime::ZERO,
         };
-        data_done + internal + self.dev.dma_complete_overhead
+        let done = data_done + internal + self.dev.dma_complete_overhead;
+        if let (Some(stats), Some((np_at, req_arrival, ready))) = (self.telem.as_deref_mut(), critical)
+        {
+            let mut s = StageSample::default();
+            s.set(Stage::Issue, (t0 - issued).as_ns_f64())
+                .set(Stage::TagAlloc, (np_at - t0).as_ns_f64())
+                .set(Stage::RequestWire, (req_arrival - np_at).as_ns_f64())
+                .set(Stage::Host, (ready - req_arrival).as_ns_f64())
+                .set(Stage::CompletionWire, (data_done - ready).as_ns_f64())
+                .set(Stage::DeviceCompletion, (done - data_done).as_ns_f64());
+            stats.record(&s);
+        }
+        done
     }
 
     /// Driver-initiated PIO write (doorbell): returns when the device
@@ -354,6 +416,53 @@ impl DeviceEngine {
     /// Accumulated busy time of the DMA-engine issue port.
     pub fn issue_busy_time(&self) -> SimTime {
         self.issue_port.busy_time()
+    }
+
+    /// The engine's counters as telemetry groups: `device.engine`
+    /// (DMA counts, issue-port occupancy/queueing) and `device.gates`
+    /// (per-gate acquire/stall/wait — the tag window and the
+    /// per-direction posted/non-posted flow-control credit stalls).
+    pub fn telemetry_groups(&self) -> Vec<CounterGroup> {
+        let mut engine = CounterGroup::new("device.engine");
+        engine
+            .push("dma_reads", self.dma_reads)
+            .push("dma_writes", self.dma_writes)
+            .push("dma_write_reads", self.dma_write_reads)
+            .push("issue_port_busy_ns", self.issue_port.busy_time().as_ns_f64() as u64)
+            .push("issue_port_queue_ns", self.issue_port.queue_time().as_ns_f64() as u64)
+            .push("issue_port_reservations", self.issue_port.reservations());
+
+        let mut gates = CounterGroup::new("device.gates");
+        for (prefix, gate) in [
+            ("workers", &self.workers),
+            ("read_tags", &self.read_tags),
+            ("posted_credits", &self.posted_credits),
+            ("nonposted_credits", &self.nonposted_credits),
+            ("cmdif_slots", &self.cmdif_slots),
+        ] {
+            // Names must be 'static for CounterGroup: one literal per
+            // gate/metric pair.
+            let (a, s, w): (&'static str, &'static str, &'static str) = match prefix {
+                "workers" => ("workers_acquires", "workers_stalls", "workers_wait_ns"),
+                "read_tags" => ("read_tags_acquires", "read_tags_stalls", "read_tags_wait_ns"),
+                "posted_credits" => (
+                    "posted_credits_acquires",
+                    "posted_credits_stalls",
+                    "posted_credits_wait_ns",
+                ),
+                "nonposted_credits" => (
+                    "nonposted_credits_acquires",
+                    "nonposted_credits_stalls",
+                    "nonposted_credits_wait_ns",
+                ),
+                _ => ("cmdif_slots_acquires", "cmdif_slots_stalls", "cmdif_slots_wait_ns"),
+            };
+            gates
+                .push(a, gate.acquires())
+                .push(s, gate.stalls())
+                .push(w, gate.total_wait().as_ns_f64() as u64);
+        }
+        vec![engine, gates]
     }
 }
 
@@ -472,6 +581,42 @@ impl Platform {
     /// Driver-initiated PIO read.
     pub fn pio_read(&mut self, now: SimTime, len: u32) -> SimTime {
         self.engine.pio_read(now, len)
+    }
+
+    /// Turns on per-stage latency attribution for subsequent DMAs
+    /// (see [`DeviceEngine::enable_telemetry`]).
+    pub fn enable_telemetry(&mut self) {
+        self.engine.enable_telemetry();
+    }
+
+    /// Whether stage attribution is enabled.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.engine.telemetry_enabled()
+    }
+
+    /// The accumulated stage attribution, if enabled.
+    pub fn stage_stats(&self) -> Option<&StageStats> {
+        self.engine.stage_stats()
+    }
+
+    /// Assembles the full cross-layer telemetry snapshot: link wire
+    /// counters (both directions), every host-side component, the DMA
+    /// engine and its gates, plus the stage-attribution report when
+    /// [`Platform::enable_telemetry`] was called.
+    pub fn telemetry_snapshot(&self, label: impl Into<String>) -> Snapshot {
+        let mut snap = Snapshot::new(label);
+        snap.add_group(self.engine.link().telemetry_group(Direction::Upstream));
+        snap.add_group(self.engine.link().telemetry_group(Direction::Downstream));
+        for g in self.host.telemetry_groups() {
+            snap.add_group(g);
+        }
+        for g in self.engine.telemetry_groups() {
+            snap.add_group(g);
+        }
+        if let Some(stats) = self.engine.stage_stats() {
+            snap.set_stages(StageReport::from_stats(stats));
+        }
+        snap
     }
 
     /// "Device warm" (§4): issue DMA writes over the window before a
@@ -708,6 +853,105 @@ mod tests {
         assert!(done > t);
         assert_eq!(p.link().counters(Direction::Downstream).tlps, 2);
         assert_eq!(p.link().counters(Direction::Upstream).tlps, 2);
+    }
+
+    #[test]
+    fn telemetry_disabled_by_default_enabled_reconciles() {
+        let (mut p, buf) = netfpga_platform();
+        p.host.host_warm(&buf, 0, 8 * 1024);
+        assert!(!p.telemetry_enabled());
+        p.dma_read(SimTime::ZERO, &buf, 0, 64, DmaPath::DmaEngine);
+        assert!(p.stage_stats().is_none(), "no stats until enabled");
+
+        p.enable_telemetry();
+        let mut now = SimTime::from_us(50);
+        let mut total_lat = 0.0;
+        for _ in 0..32 {
+            now += SimTime::from_us(20);
+            let r = p.dma_read(now, &buf, 0, 512, DmaPath::DmaEngine);
+            total_lat += r.latency().as_ns_f64();
+        }
+        let stats = p.stage_stats().unwrap();
+        assert_eq!(stats.transactions(), 32);
+        // Stage contributions sum to the measured end-to-end latency
+        // within floating-point rounding (the acceptance criterion).
+        assert!(
+            (stats.grand_total_ns() - total_lat).abs() < 1e-6 * total_lat.max(1.0),
+            "stages {} vs end-to-end {}",
+            stats.grand_total_ns(),
+            total_lat
+        );
+        assert!(
+            (stats.end_to_end().total_ns() - total_lat).abs() < 1e-6 * total_lat,
+            "e2e histogram total mismatches measured latency"
+        );
+        // The host stage dominates a warm small read; wire stages are
+        // nonzero.
+        assert!(stats.mean_ns(Stage::Host) > 0.0);
+        assert!(stats.mean_ns(Stage::RequestWire) > 0.0);
+        assert!(stats.mean_ns(Stage::CompletionWire) > 0.0);
+    }
+
+    #[test]
+    fn wrrd_stage_sum_still_reconciles() {
+        let (mut p, buf) = netfpga_platform();
+        p.host.host_warm(&buf, 0, 8 * 1024);
+        p.enable_telemetry();
+        let mut now = SimTime::ZERO;
+        let mut total_lat = 0.0;
+        for _ in 0..16 {
+            now += SimTime::from_us(20);
+            let r = p.dma_write_read(now, &buf, 0, 64, DmaPath::DmaEngine);
+            total_lat += r.latency().as_ns_f64();
+        }
+        let stats = p.stage_stats().unwrap();
+        assert_eq!(stats.transactions(), 16);
+        assert!(
+            (stats.grand_total_ns() - total_lat).abs() < 1e-6 * total_lat,
+            "WRRD stages {} vs end-to-end {}",
+            stats.grand_total_ns(),
+            total_lat
+        );
+        // The Issue stage absorbs the write phase (enqueue + wire +
+        // write completion ≈ 30ns on the NetFPGA), so it clearly
+        // exceeds the bare enqueue overhead (8ns).
+        assert!(
+            stats.mean_ns(Stage::Issue) > 20.0,
+            "Issue stage {}ns should absorb the write phase",
+            stats.mean_ns(Stage::Issue)
+        );
+    }
+
+    #[test]
+    fn snapshot_assembles_all_layers() {
+        let (mut p, buf) = netfpga_platform();
+        p.enable_telemetry();
+        p.dma_read(SimTime::ZERO, &buf, 0, 256, DmaPath::DmaEngine);
+        p.dma_write(SimTime::from_us(1), &buf, 0, 256, DmaPath::DmaEngine);
+        let snap = p.telemetry_snapshot("unit");
+        for comp in [
+            "link.upstream",
+            "link.downstream",
+            "host.mem",
+            "host.rc",
+            "host.cache.node0",
+            "host.dram.node0",
+            "device.engine",
+            "device.gates",
+        ] {
+            assert!(snap.group(comp).is_some(), "missing group {comp}");
+        }
+        assert_eq!(snap.group("device.engine").unwrap().get("dma_reads"), Some(1));
+        assert_eq!(snap.group("device.engine").unwrap().get("dma_writes"), Some(1));
+        // Upstream wire: 1 MRd (24B) + 1 MWr 256B (280B).
+        assert_eq!(
+            snap.group("link.upstream").unwrap().get("tlp_bytes"),
+            Some(24 + 280)
+        );
+        let st = snap.stages().expect("stage report present");
+        assert_eq!(st.transactions, 1, "only the read is stage-attributed");
+        let json = snap.to_json();
+        assert!(json.contains("\"host.cache.node0\""), "{json}");
     }
 
     #[test]

@@ -148,6 +148,58 @@ impl HostSystem {
         node != self.device_node
     }
 
+    /// Every host-side component's counters as telemetry groups:
+    /// `host.mem`, `host.rc`, per-node `host.cache.nodeN` /
+    /// `host.dram.nodeN`, and `host.iommu` when enabled.
+    pub fn telemetry_groups(&self) -> Vec<pcie_telemetry::CounterGroup> {
+        use pcie_telemetry::CounterGroup;
+        let mut out = Vec::new();
+
+        let mut mem = CounterGroup::new("host.mem");
+        mem.push("read_tlps", self.stats.read_tlps)
+            .push("write_tlps", self.stats.write_tlps)
+            .push("bytes_read", self.stats.bytes_read)
+            .push("bytes_written", self.stats.bytes_written)
+            .push("remote_tlps", self.stats.remote_tlps);
+        out.push(mem);
+
+        let mut rc = CounterGroup::new("host.rc");
+        rc.push("busy_ns", self.rc.busy_time().as_ns_f64() as u64)
+            .push("queue_ns", self.rc.queue_time().as_ns_f64() as u64)
+            .push("tlps_served", self.rc.reservations());
+        out.push(rc);
+
+        for (i, node) in self.nodes.iter().enumerate() {
+            let cs = node.cache.stats();
+            let mut cache = CounterGroup::new(format!("host.cache.node{i}"));
+            cache
+                .push("read_hits", cs.read_hits)
+                .push("read_misses", cs.read_misses)
+                .push("write_hits", cs.write_hits)
+                .push("write_allocs", cs.write_allocs)
+                .push("write_dirty_evictions", cs.write_dirty_evictions)
+                .push("write_uncached", cs.write_uncached);
+            out.push(cache);
+
+            let (lines_read, lines_written) = node.dram.traffic();
+            let mut dram = CounterGroup::new(format!("host.dram.node{i}"));
+            dram.push("lines_read", lines_read)
+                .push("lines_written", lines_written);
+            out.push(dram);
+        }
+
+        if let Some(iommu) = &self.iommu {
+            let s = iommu.stats();
+            let mut g = CounterGroup::new("host.iommu");
+            g.push("tlb_hits", s.tlb_hits)
+                .push("tlb_misses", s.tlb_misses)
+                .push("page_walks", s.tlb_misses);
+            out.push(g);
+        }
+
+        out
+    }
+
     /// Warms the LLC of `buf`'s node from the CPU side over
     /// `[offset, offset+len)` ("host warm", §4).
     pub fn host_warm(&mut self, buf: &HostBuffer, offset: u64, len: u64) {

@@ -233,6 +233,26 @@ impl Link {
         self.dirs[di(dir)].timeline.utilization(horizon)
     }
 
+    /// Wire and queueing counters for `dir` as a telemetry group
+    /// (`link.upstream` / `link.downstream`).
+    pub fn telemetry_group(&self, dir: Direction) -> pcie_telemetry::CounterGroup {
+        let d = &self.dirs[di(dir)];
+        let name = match dir {
+            Direction::Upstream => "link.upstream",
+            Direction::Downstream => "link.downstream",
+        };
+        let mut g = pcie_telemetry::CounterGroup::new(name);
+        g.push("tlps", d.counters.tlps)
+            .push("tlp_bytes", d.counters.tlp_bytes)
+            .push("payload_bytes", d.counters.payload_bytes)
+            .push("dllps", d.counters.dllps)
+            .push("dllp_bytes", d.counters.dllp_bytes)
+            .push("busy_ns", d.timeline.busy_time().as_ns_f64() as u64)
+            .push("queue_ns", d.timeline.queue_time().as_ns_f64() as u64)
+            .push("reservations", d.timeline.reservations());
+        g
+    }
+
     /// Resets timelines and counters (benchmark reruns).
     pub fn reset(&mut self) {
         for d in &mut self.dirs {

@@ -22,6 +22,10 @@ pub struct DescriptorRing {
     capacity: u32,
     head: u32,
     tail: u32,
+    produced: u64,
+    consumed: u64,
+    /// High-water mark of `used()` (ring occupancy).
+    max_used: u32,
 }
 
 impl DescriptorRing {
@@ -46,6 +50,9 @@ impl DescriptorRing {
             capacity,
             head: 0,
             tail: 0,
+            produced: 0,
+            consumed: 0,
+            max_used: 0,
         }
     }
 
@@ -81,6 +88,8 @@ impl DescriptorRing {
         let take = n.min(self.free());
         let slots = (0..take).map(|i| (self.tail + i) % self.capacity).collect();
         self.tail = (self.tail + take) % self.capacity;
+        self.produced += take as u64;
+        self.max_used = self.max_used.max(self.used());
         slots
     }
 
@@ -90,7 +99,35 @@ impl DescriptorRing {
         let take = n.min(self.used());
         let slots = (0..take).map(|i| (self.head + i) % self.capacity).collect();
         self.head = (self.head + take) % self.capacity;
+        self.consumed += take as u64;
         slots
+    }
+
+    /// Descriptors produced over the ring's lifetime.
+    pub fn total_produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// Descriptors consumed over the ring's lifetime.
+    pub fn total_consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// High-water mark of ring occupancy.
+    pub fn max_used(&self) -> u32 {
+        self.max_used
+    }
+
+    /// Lifetime counters as a telemetry group named
+    /// `nic.ring.<name>`.
+    pub fn telemetry_group(&self, name: &str) -> pcie_telemetry::CounterGroup {
+        let mut g = pcie_telemetry::CounterGroup::new(format!("nic.ring.{name}"));
+        g.push("capacity", self.capacity as u64)
+            .push("produced", self.produced)
+            .push("consumed", self.consumed)
+            .push("in_flight", self.used() as u64)
+            .push("max_used", self.max_used as u64);
+        g
     }
 
     /// Contiguous byte ranges `(offset, len)` covering `slots` —
@@ -176,6 +213,24 @@ mod tests {
         let slots = r.produce(3); // 7, 0, 1
         let ranges = r.dma_ranges(&slots);
         assert_eq!(ranges, vec![(7 * 16, 16), (0, 32)]);
+    }
+
+    #[test]
+    fn lifetime_counters_and_telemetry() {
+        let b = buf();
+        let mut r = DescriptorRing::new(&b, 0, 16, 8);
+        r.produce(5);
+        r.consume(2);
+        r.produce(2);
+        assert_eq!(r.total_produced(), 7);
+        assert_eq!(r.total_consumed(), 2);
+        assert_eq!(r.max_used(), 5);
+        let g = r.telemetry_group("tx");
+        assert_eq!(g.component, "nic.ring.tx");
+        assert_eq!(g.get("produced"), Some(7));
+        assert_eq!(g.get("consumed"), Some(2));
+        assert_eq!(g.get("in_flight"), Some(5));
+        assert_eq!(g.get("max_used"), Some(5));
     }
 
     #[test]

@@ -18,6 +18,12 @@ pub struct Timeline {
     busy_until: SimTime,
     busy_accum: SimTime,
     reservations: u64,
+    queue_accum: SimTime,
+    /// Per-reservation `(arrival, start, end)` log; only populated
+    /// after [`Timeline::enable_recording`] — recording every
+    /// reservation of a saturated link would otherwise cost a `Vec`
+    /// push per TLP.
+    recorded: Option<Vec<(SimTime, SimTime, SimTime)>>,
 }
 
 /// The outcome of a reservation: when service started and completed.
@@ -50,7 +56,39 @@ impl Timeline {
         self.busy_until = end;
         self.busy_accum += duration;
         self.reservations += 1;
+        self.queue_accum += start.saturating_sub(arrival);
+        if let Some(log) = &mut self.recorded {
+            log.push((arrival, start, end));
+        }
         Reservation { start, end }
+    }
+
+    /// Starts logging every subsequent reservation's
+    /// `(arrival, start, end)` triple; see [`Timeline::recorded`].
+    pub fn enable_recording(&mut self) {
+        if self.recorded.is_none() {
+            self.recorded = Some(Vec::new());
+        }
+    }
+
+    /// The reservation log, empty unless
+    /// [`Timeline::enable_recording`] was called.
+    pub fn recorded(&self) -> &[(SimTime, SimTime, SimTime)] {
+        self.recorded.as_deref().unwrap_or(&[])
+    }
+
+    /// Total time requests spent queued behind the resource.
+    pub fn queue_time(&self) -> SimTime {
+        self.queue_accum
+    }
+
+    /// Mean queueing delay per reservation, in nanoseconds.
+    pub fn mean_queueing_delay_ns(&self) -> f64 {
+        if self.reservations == 0 {
+            0.0
+        } else {
+            self.queue_accum.as_ps() as f64 / 1000.0 / self.reservations as f64
+        }
     }
 
     /// The time at which the resource next becomes free.
@@ -139,6 +177,30 @@ mod tests {
         }
         assert_eq!(last.end, SimTime::from_us(10));
         assert!((tl.utilization(last.end) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_time_accumulates() {
+        let mut tl = Timeline::new();
+        tl.reserve(ns(0), ns(50));
+        tl.reserve(ns(10), ns(5)); // waits 40ns
+        tl.reserve(ns(55), ns(5)); // no wait
+        assert_eq!(tl.queue_time(), ns(40));
+        assert!((tl.mean_queueing_delay_ns() - 40.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recording_is_opt_in() {
+        let mut tl = Timeline::new();
+        tl.reserve(ns(0), ns(10));
+        assert!(tl.recorded().is_empty(), "off by default");
+        tl.enable_recording();
+        tl.reserve(ns(5), ns(10));
+        tl.reserve(ns(100), ns(10));
+        assert_eq!(
+            tl.recorded(),
+            &[(ns(5), ns(10), ns(20)), (ns(100), ns(100), ns(110))]
+        );
     }
 
     #[test]

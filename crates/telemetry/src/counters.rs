@@ -1,0 +1,80 @@
+//! Named per-component counter groups.
+//!
+//! A [`CounterGroup`] is one component's view of itself — the link's
+//! wire counters, one LLC node's hit/miss/writeback counts, the
+//! IOMMU's TLB statistics. Counters are stored in insertion order with
+//! `&'static str` names so a group costs one `Vec` and no hashing;
+//! groups are built once per snapshot, never on the transaction path.
+
+/// An ordered set of named `u64` counters belonging to one component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterGroup {
+    /// Dotted component path, e.g. `"link.upstream"` or
+    /// `"host.cache.node0"`.
+    pub component: String,
+    counters: Vec<(&'static str, u64)>,
+}
+
+impl CounterGroup {
+    /// Creates an empty group for `component`.
+    pub fn new(component: impl Into<String>) -> Self {
+        CounterGroup {
+            component: component.into(),
+            counters: Vec::new(),
+        }
+    }
+
+    /// Appends a counter; chainable. Duplicate names are allowed but
+    /// pointless — the first wins on [`CounterGroup::get`].
+    pub fn push(&mut self, name: &'static str, value: u64) -> &mut Self {
+        self.counters.push((name, value));
+        self
+    }
+
+    /// Looks a counter up by name.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The counters in insertion order.
+    pub fn counters(&self) -> &[(&'static str, u64)] {
+        &self.counters
+    }
+
+    /// Number of counters in the group.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether the group holds no counters.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_order() {
+        let mut g = CounterGroup::new("link.upstream");
+        g.push("tlps", 10).push("tlp_bytes", 840).push("dllps", 5);
+        assert_eq!(g.get("tlp_bytes"), Some(840));
+        assert_eq!(g.get("missing"), None);
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+        let names: Vec<&str> = g.counters().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["tlps", "tlp_bytes", "dllps"], "insertion order");
+    }
+
+    #[test]
+    fn empty_group() {
+        let g = CounterGroup::new("x");
+        assert!(g.is_empty());
+        assert_eq!(g.get("anything"), None);
+    }
+}

@@ -1,0 +1,230 @@
+//! Fixed-width-bucket latency histograms.
+//!
+//! The figure binaries need CDFs over hundreds of thousands of DMA
+//! latencies. A fixed bucket width makes `record` an integer divide
+//! plus an array increment — cheap enough to run per transaction —
+//! while still resolving the paper's latency structure (tens of ns
+//! between cache-hit and cache-miss populations). Values past the last
+//! bucket saturate into a dedicated overflow bucket instead of being
+//! dropped, so `count()` always equals the number of recorded samples.
+
+/// A latency histogram with `n_buckets` fixed-width buckets plus one
+/// saturating overflow bucket.
+///
+/// Bucket `i` covers `[i*width, (i+1)*width)` nanoseconds; anything at
+/// or above `n_buckets * width` lands in the overflow bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyHistogram {
+    bucket_width_ns: u64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    total_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+impl LatencyHistogram {
+    /// Creates a histogram with `n_buckets` buckets of
+    /// `bucket_width_ns` nanoseconds each.
+    ///
+    /// # Panics
+    /// Panics if `bucket_width_ns` is zero or `n_buckets` is zero.
+    pub fn new(bucket_width_ns: u64, n_buckets: usize) -> Self {
+        assert!(bucket_width_ns > 0, "bucket width must be positive");
+        assert!(n_buckets > 0, "need at least one bucket");
+        LatencyHistogram {
+            bucket_width_ns,
+            buckets: vec![0; n_buckets],
+            overflow: 0,
+            count: 0,
+            total_ns: 0.0,
+            min_ns: f64::INFINITY,
+            max_ns: 0.0,
+        }
+    }
+
+    /// Records one latency sample. Negative values (which the
+    /// simulator never produces, but floating-point subtraction can
+    /// round to) clamp to zero.
+    pub fn record_ns(&mut self, ns: f64) {
+        let ns = if ns.is_finite() && ns > 0.0 { ns } else { 0.0 };
+        let idx = (ns as u64) / self.bucket_width_ns;
+        if (idx as usize) < self.buckets.len() {
+            self.buckets[idx as usize] += 1;
+        } else {
+            self.overflow = self.overflow.saturating_add(1);
+        }
+        self.count += 1;
+        self.total_ns += ns;
+        if ns < self.min_ns {
+            self.min_ns = ns;
+        }
+        if ns > self.max_ns {
+            self.max_ns = ns;
+        }
+    }
+
+    /// Width of one bucket in nanoseconds.
+    pub fn bucket_width_ns(&self) -> u64 {
+        self.bucket_width_ns
+    }
+
+    /// Per-bucket sample counts, overflow excluded.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Samples that landed at or past the end of the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of samples recorded (including overflowed ones).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples in nanoseconds.
+    pub fn total_ns(&self) -> f64 {
+        self.total_ns
+    }
+
+    /// Mean sample in nanoseconds, or 0 if empty.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample, or 0 if empty.
+    pub fn min_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Largest recorded sample, or 0 if empty.
+    pub fn max_ns(&self) -> f64 {
+        self.max_ns
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) from bucket midpoints;
+    /// overflowed samples report the start of the overflow range.
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return (i as f64 + 0.5) * self.bucket_width_ns as f64;
+            }
+        }
+        (self.buckets.len() as u64 * self.bucket_width_ns) as f64
+    }
+
+    /// Buckets with at least one sample, as
+    /// `(bucket_start_ns, count)` pairs; the overflow bucket, if
+    /// populated, appears last with its start offset.
+    pub fn nonzero(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u64 * self.bucket_width_ns, c))
+            .collect();
+        if self.overflow > 0 {
+            out.push((self.buckets.len() as u64 * self.bucket_width_ns, self.overflow));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sample_lands_in_first_bucket() {
+        let mut h = LatencyHistogram::new(25, 4);
+        h.record_ns(0.0);
+        assert_eq!(h.buckets(), &[1, 0, 0, 0]);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min_ns(), 0.0);
+        assert_eq!(h.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn negative_and_nan_clamp_to_zero() {
+        let mut h = LatencyHistogram::new(25, 4);
+        h.record_ns(-3.0);
+        h.record_ns(f64::NAN);
+        assert_eq!(h.buckets(), &[2, 0, 0, 0]);
+        assert_eq!(h.total_ns(), 0.0);
+    }
+
+    #[test]
+    fn exact_bucket_boundary_goes_to_upper_bucket() {
+        let mut h = LatencyHistogram::new(25, 4);
+        h.record_ns(24.999); // last value of bucket 0
+        h.record_ns(25.0); // first value of bucket 1
+        h.record_ns(49.999);
+        h.record_ns(50.0); // first value of bucket 2
+        assert_eq!(h.buckets(), &[1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn overflow_saturates_and_still_counts() {
+        let mut h = LatencyHistogram::new(10, 3); // covers [0, 30)
+        h.record_ns(29.999); // last in-range value
+        h.record_ns(30.0); // first overflow value
+        h.record_ns(1e12); // absurdly large still counted
+        assert_eq!(h.buckets(), &[0, 0, 1]);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max_ns(), 1e12);
+    }
+
+    #[test]
+    fn mean_min_max_and_quantiles() {
+        let mut h = LatencyHistogram::new(10, 10);
+        for v in [5.0, 15.0, 15.0, 95.0] {
+            h.record_ns(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean_ns() - 32.5).abs() < 1e-9);
+        assert_eq!(h.min_ns(), 5.0);
+        assert_eq!(h.max_ns(), 95.0);
+        // median falls in the 10–20 bucket, reported at its midpoint
+        assert_eq!(h.quantile_ns(0.5), 15.0);
+        assert_eq!(h.quantile_ns(1.0), 95.0);
+    }
+
+    #[test]
+    fn nonzero_lists_overflow_last() {
+        let mut h = LatencyHistogram::new(10, 3);
+        h.record_ns(12.0);
+        h.record_ns(99.0);
+        assert_eq!(h.nonzero(), vec![(10, 1), (30, 1)]);
+    }
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let h = LatencyHistogram::new(10, 3);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.min_ns(), 0.0);
+        assert_eq!(h.max_ns(), 0.0);
+        assert_eq!(h.quantile_ns(0.5), 0.0);
+        assert!(h.nonzero().is_empty());
+    }
+}

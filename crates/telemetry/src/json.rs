@@ -1,0 +1,221 @@
+//! A minimal JSON writer.
+//!
+//! The workspace builds with zero external dependencies, so snapshot
+//! export cannot use `serde`. This module provides just enough — an
+//! append-only [`JsonWriter`] producing pretty-printed, valid JSON —
+//! for the snapshot shapes this crate emits. It is not a general
+//! serialiser: callers are responsible for balancing `begin_*`/`end_*`
+//! calls.
+
+/// Escapes a string per RFC 8259 and wraps it in quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number: finite values with up to three
+/// decimal places (trailing zeros trimmed), non-finite values as `0`.
+pub fn number(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        return format!("{}", v as i64);
+    }
+    let s = format!("{:.3}", v);
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    s.to_string()
+}
+
+/// An indentation-aware, append-only JSON builder.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    indent: usize,
+    /// Whether the current container already holds a value (so the
+    /// next entry needs a comma).
+    need_comma: Vec<bool>,
+    /// Set after `key()`: the next value appends inline after `": "`
+    /// instead of starting a fresh comma'd line.
+    raw_next: bool,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    fn newline(&mut self) {
+        self.buf.push('\n');
+        for _ in 0..self.indent {
+            self.buf.push_str("  ");
+        }
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(need) = self.need_comma.last_mut() {
+            if *need {
+                self.buf.push(',');
+            }
+            *need = true;
+            self.newline();
+        }
+    }
+
+    /// Writes `"key": ` inside an object, handling commas/indentation.
+    pub fn key(&mut self, key: &str) -> &mut Self {
+        self.pre_value();
+        self.buf.push_str(&escape(key));
+        self.buf.push_str(": ");
+        // the value that follows must not re-trigger comma handling
+        if let Some(need) = self.need_comma.last_mut() {
+            *need = true;
+        }
+        self.raw_next = true;
+        self
+    }
+
+    /// Opens `{`.
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.value_slot();
+        self.buf.push('{');
+        self.indent += 1;
+        self.need_comma.push(false);
+        self
+    }
+
+    /// Closes `}`.
+    pub fn end_object(&mut self) -> &mut Self {
+        let had_values = self.need_comma.pop().unwrap_or(false);
+        self.indent -= 1;
+        if had_values {
+            self.newline();
+        }
+        self.buf.push('}');
+        self
+    }
+
+    /// Opens `[`.
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.value_slot();
+        self.buf.push('[');
+        self.indent += 1;
+        self.need_comma.push(false);
+        self
+    }
+
+    /// Closes `]`.
+    pub fn end_array(&mut self) -> &mut Self {
+        let had_values = self.need_comma.pop().unwrap_or(false);
+        self.indent -= 1;
+        if had_values {
+            self.newline();
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Writes a string value.
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.value_slot();
+        self.buf.push_str(&escape(s));
+        self
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.value_slot();
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Writes a float value via [`number`].
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.value_slot();
+        self.buf.push_str(&number(v));
+        self
+    }
+
+    /// Finishes and returns the JSON text.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+impl JsonWriter {
+    fn value_slot(&mut self) {
+        if self.raw_next {
+            self.raw_next = false;
+        } else {
+            self.pre_value();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(number(264.0), "264");
+        assert_eq!(number(3.25), "3.25");
+        assert_eq!(number(0.5004), "0.5");
+        assert_eq!(number(f64::NAN), "0");
+        assert_eq!(number(f64::INFINITY), "0");
+    }
+
+    #[test]
+    fn object_round_trip() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("name").string("link");
+        w.key("tlps").u64(3);
+        w.key("util").f64(0.125);
+        w.key("list").begin_array();
+        w.u64(1).u64(2);
+        w.end_array();
+        w.end_object();
+        let s = w.finish();
+        assert!(s.contains("\"tlps\": 3"), "{s}");
+        assert!(s.contains("\"util\": 0.125"), "{s}");
+        assert!(s.starts_with('{') && s.ends_with('}'), "{s}");
+        // comma between object entries, none after the last
+        assert!(s.contains("\"link\","), "{s}");
+        assert!(!s.contains(",\n}"), "{s}");
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a").begin_array();
+        w.end_array();
+        w.key("b").begin_object();
+        w.end_object();
+        w.end_object();
+        let s = w.finish();
+        assert!(s.contains("\"a\": []"), "{s}");
+        assert!(s.contains("\"b\": {}"), "{s}");
+    }
+}

@@ -1,0 +1,251 @@
+//! Per-DMA critical-path stage attribution.
+//!
+//! A device-initiated read traverses a fixed pipeline: the DMA engine
+//! issues it, a read tag and non-posted credit are allocated, the
+//! request TLP serialises onto the wire, the host (root complex →
+//! IOMMU → LLC/DRAM) produces the data, the completion TLP(s)
+//! serialise back, and the engine finishes internal bookkeeping. The
+//! simulator timestamps the *critical* (last-completing) chunk of each
+//! transfer at every boundary; consecutive differences telescope, so
+//! per-stage contributions **sum exactly to the end-to-end latency** —
+//! the invariant the `fig6` stage-attributed CDFs rely on.
+
+use crate::hist::LatencyHistogram;
+
+/// One stage of the DMA critical path, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Waiting for a free DMA-engine worker slot and the issue port
+    /// (occupancy / queueing delay; absorbs the doorbell write for
+    /// write-then-read ops).
+    Issue,
+    /// Waiting for a PCIe read tag and a non-posted header credit.
+    TagAlloc,
+    /// Request TLP serialisation + propagation on the upstream wire.
+    RequestWire,
+    /// Root complex, IOMMU, LLC and DRAM processing on the host.
+    Host,
+    /// Completion TLP serialisation + propagation on the downstream
+    /// wire (last completion of the critical chunk).
+    CompletionWire,
+    /// Device-internal completion handling after the last data beat.
+    DeviceCompletion,
+}
+
+/// All stages in pipeline order.
+pub const STAGES: [Stage; 6] = [
+    Stage::Issue,
+    Stage::TagAlloc,
+    Stage::RequestWire,
+    Stage::Host,
+    Stage::CompletionWire,
+    Stage::DeviceCompletion,
+];
+
+impl Stage {
+    /// Stable snake_case name used in JSON/CSV export.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Issue => "issue",
+            Stage::TagAlloc => "tag_alloc",
+            Stage::RequestWire => "request_wire",
+            Stage::Host => "host",
+            Stage::CompletionWire => "completion_wire",
+            Stage::DeviceCompletion => "device_completion",
+        }
+    }
+
+    /// Index of this stage in [`STAGES`].
+    pub fn index(self) -> usize {
+        match self {
+            Stage::Issue => 0,
+            Stage::TagAlloc => 1,
+            Stage::RequestWire => 2,
+            Stage::Host => 3,
+            Stage::CompletionWire => 4,
+            Stage::DeviceCompletion => 5,
+        }
+    }
+}
+
+/// Per-stage durations (ns) for one DMA transaction's critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageSample {
+    /// Duration of each stage, indexed per [`Stage::index`].
+    pub ns: [f64; 6],
+}
+
+impl StageSample {
+    /// Sets one stage's duration; chainable.
+    pub fn set(&mut self, stage: Stage, ns: f64) -> &mut Self {
+        self.ns[stage.index()] = ns.max(0.0);
+        self
+    }
+
+    /// Duration of one stage.
+    pub fn get(&self, stage: Stage) -> f64 {
+        self.ns[stage.index()]
+    }
+
+    /// Sum over all stages — by construction the end-to-end latency.
+    pub fn total_ns(&self) -> f64 {
+        self.ns.iter().sum()
+    }
+}
+
+/// Accumulated stage attribution across many transactions: per-stage
+/// totals and histograms plus an end-to-end histogram.
+#[derive(Debug, Clone)]
+pub struct StageStats {
+    /// Per-stage accumulated nanoseconds, indexed per [`Stage::index`].
+    totals_ns: [f64; 6],
+    /// Per-stage latency histograms.
+    per_stage: Vec<LatencyHistogram>,
+    /// End-to-end latency histogram.
+    end_to_end: LatencyHistogram,
+    /// Number of transactions recorded.
+    transactions: u64,
+}
+
+/// Default histogram geometry: 25 ns buckets × 400 buckets = 10 µs
+/// range, comfortably covering the paper's 300 ns – 2.5 µs latency
+/// band (Figure 6) with overflow saturation beyond.
+const BUCKET_WIDTH_NS: u64 = 25;
+const N_BUCKETS: usize = 400;
+
+impl Default for StageStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StageStats {
+    /// Creates an empty accumulator with the default 25 ns × 400
+    /// bucket geometry.
+    pub fn new() -> Self {
+        StageStats {
+            totals_ns: [0.0; 6],
+            per_stage: (0..6)
+                .map(|_| LatencyHistogram::new(BUCKET_WIDTH_NS, N_BUCKETS))
+                .collect(),
+            end_to_end: LatencyHistogram::new(BUCKET_WIDTH_NS, N_BUCKETS),
+            transactions: 0,
+        }
+    }
+
+    /// Records one transaction's stage breakdown.
+    pub fn record(&mut self, sample: &StageSample) {
+        for stage in STAGES {
+            let v = sample.get(stage);
+            self.totals_ns[stage.index()] += v;
+            self.per_stage[stage.index()].record_ns(v);
+        }
+        self.end_to_end.record_ns(sample.total_ns());
+        self.transactions += 1;
+    }
+
+    /// Number of transactions recorded.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Accumulated nanoseconds in one stage.
+    pub fn total_ns(&self, stage: Stage) -> f64 {
+        self.totals_ns[stage.index()]
+    }
+
+    /// Mean contribution of one stage per transaction, ns.
+    pub fn mean_ns(&self, stage: Stage) -> f64 {
+        if self.transactions == 0 {
+            0.0
+        } else {
+            self.totals_ns[stage.index()] / self.transactions as f64
+        }
+    }
+
+    /// Sum of all per-stage totals — equals the end-to-end total
+    /// within floating-point rounding.
+    pub fn grand_total_ns(&self) -> f64 {
+        self.totals_ns.iter().sum()
+    }
+
+    /// The per-stage histogram.
+    pub fn histogram(&self, stage: Stage) -> &LatencyHistogram {
+        &self.per_stage[stage.index()]
+    }
+
+    /// The end-to-end latency histogram.
+    pub fn end_to_end(&self) -> &LatencyHistogram {
+        &self.end_to_end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_sum_is_total() {
+        let mut s = StageSample::default();
+        s.set(Stage::Issue, 10.0)
+            .set(Stage::TagAlloc, 2.0)
+            .set(Stage::RequestWire, 9.6)
+            .set(Stage::Host, 250.0)
+            .set(Stage::CompletionWire, 33.6)
+            .set(Stage::DeviceCompletion, 70.0);
+        assert!((s.total_ns() - 375.2).abs() < 1e-9);
+        assert_eq!(s.get(Stage::Host), 250.0);
+    }
+
+    #[test]
+    fn negative_stage_duration_clamps() {
+        let mut s = StageSample::default();
+        s.set(Stage::Host, -1e-12);
+        assert_eq!(s.get(Stage::Host), 0.0);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reconcile() {
+        let mut stats = StageStats::new();
+        for i in 0..100 {
+            let mut s = StageSample::default();
+            s.set(Stage::Issue, 5.0)
+                .set(Stage::RequestWire, 9.6)
+                .set(Stage::Host, 200.0 + i as f64)
+                .set(Stage::CompletionWire, 33.6)
+                .set(Stage::DeviceCompletion, 70.0);
+            stats.record(&s);
+        }
+        assert_eq!(stats.transactions(), 100);
+        assert_eq!(stats.end_to_end().count(), 100);
+        assert_eq!(stats.histogram(Stage::Host).count(), 100);
+        // stage totals reconcile with the end-to-end total
+        let e2e_total = stats.end_to_end().total_ns();
+        assert!(
+            (stats.grand_total_ns() - e2e_total).abs() < 1e-6,
+            "stage totals {} vs end-to-end {}",
+            stats.grand_total_ns(),
+            e2e_total
+        );
+        assert!((stats.mean_ns(Stage::CompletionWire) - 33.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        let names: Vec<&str> = STAGES.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "issue",
+                "tag_alloc",
+                "request_wire",
+                "host",
+                "completion_wire",
+                "device_completion"
+            ]
+        );
+        for (i, s) in STAGES.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+}

@@ -122,7 +122,7 @@ pub fn byte_counts(chunks: &[Chunk]) -> Vec<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use pcie_sim::SplitMix64;
 
     fn total(chunks: &[Chunk]) -> u64 {
         chunks.iter().map(|c| c.len as u64).sum()
@@ -241,57 +241,75 @@ mod tests {
         split_write(0, 0, 256);
     }
 
-    proptest! {
-        #[test]
-        fn write_split_invariants(addr in 0u64..1u64<<40, len in 1u32..16384, mps_pow in 5u32..10) {
-            let mps = 1u32 << mps_pow; // 32..512
+    // Randomised invariant checks, formerly proptest strategies; now
+    // driven by the in-tree seeded PRNG so the workspace builds with
+    // zero external dependencies. Same input distributions, fixed
+    // seeds, 512 cases each (deterministic, so failures replay).
+
+    #[test]
+    fn write_split_invariants() {
+        let mut rng = SplitMix64::new(0xA11C_E5ED);
+        for _ in 0..512 {
+            let addr = rng.next_below(1u64 << 40);
+            let len = rng.range(1, 16384) as u32;
+            let mps = 1u32 << rng.range(5, 10); // 32..512
             let chunks = split_write(addr, len, mps);
-            prop_assert_eq!(total(&chunks), len as u64);
-            prop_assert!(contiguous(addr, &chunks));
+            assert_eq!(total(&chunks), len as u64);
+            assert!(contiguous(addr, &chunks));
             for c in &chunks {
-                prop_assert!(c.len <= mps);
-                prop_assert!(c.len > 0);
+                assert!(c.len <= mps);
+                assert!(c.len > 0);
                 let a = c.addr / 4096;
                 let b = (c.addr + c.len as u64 - 1) / 4096;
-                prop_assert_eq!(a, b, "crosses 4KiB: {:?}", c);
+                assert_eq!(a, b, "crosses 4KiB: {:?}", c);
             }
             // all chunks except first start aligned
             for c in chunks.iter().skip(1) {
-                prop_assert_eq!(c.addr % mps as u64, 0);
+                assert_eq!(c.addr % mps as u64, 0);
             }
         }
+    }
 
-        #[test]
-        fn completion_split_invariants(addr in 0u64..1u64<<40, len in 1u32..16384) {
+    #[test]
+    fn completion_split_invariants() {
+        let mut rng = SplitMix64::new(0xC0_FFEE);
+        for _ in 0..512 {
+            let addr = rng.next_below(1u64 << 40);
+            let len = rng.range(1, 16384) as u32;
             let (mps, rcb) = (256u32, 64u32);
             let chunks = split_completions(addr, len, mps, rcb);
-            prop_assert_eq!(total(&chunks), len as u64);
-            prop_assert!(contiguous(addr, &chunks));
+            assert_eq!(total(&chunks), len as u64);
+            assert!(contiguous(addr, &chunks));
             for (i, c) in chunks.iter().enumerate() {
-                prop_assert!(c.len <= mps);
+                assert!(c.len <= mps);
                 if i > 0 {
-                    prop_assert_eq!(c.addr % rcb as u64, 0, "chunk {} not RCB aligned", i);
+                    assert_eq!(c.addr % rcb as u64, 0, "chunk {} not RCB aligned", i);
                 }
             }
             // byte_counts is strictly decreasing and starts at len
             let bcs = byte_counts(&chunks);
-            prop_assert_eq!(bcs[0], len);
+            assert_eq!(bcs[0], len);
             for w in bcs.windows(2) {
-                prop_assert!(w[0] > w[1]);
+                assert!(w[0] > w[1]);
             }
         }
+    }
 
-        #[test]
-        fn read_request_split_invariants(addr in 0u64..1u64<<40, len in 1u32..16384) {
+    #[test]
+    fn read_request_split_invariants() {
+        let mut rng = SplitMix64::new(0xDEAD_BEEF);
+        for _ in 0..512 {
+            let addr = rng.next_below(1u64 << 40);
+            let len = rng.range(1, 16384) as u32;
             let mrrs = 512u32;
             let chunks = split_read_requests(addr, len, mrrs);
-            prop_assert_eq!(total(&chunks), len as u64);
-            prop_assert!(contiguous(addr, &chunks));
+            assert_eq!(total(&chunks), len as u64);
+            assert!(contiguous(addr, &chunks));
             for c in &chunks {
-                prop_assert!(c.len <= mrrs);
+                assert!(c.len <= mrrs);
                 let a = c.addr / 4096;
                 let b = (c.addr + c.len as u64 - 1) / 4096;
-                prop_assert_eq!(a, b);
+                assert_eq!(a, b);
             }
         }
     }

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Offline verification: build, test, docs, lint. Must pass with zero
+# network access — the workspace has no external dependencies.
+#
+# Usage: scripts/verify.sh
+# Exits non-zero on the first failure. Clippy is skipped (with a note)
+# when the component is not installed.
+
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="${RUSTDOCFLAGS:--D warnings}" cargo doc --no-deps --quiet
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --all-targets (warnings are errors)"
+    cargo clippy --all-targets --quiet -- -D warnings
+else
+    echo "==> cargo clippy not installed; skipping lint"
+fi
+
+echo "==> OK"

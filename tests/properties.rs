@@ -1,119 +1,188 @@
 //! Cross-crate property tests: for arbitrary (valid) benchmark
 //! geometries, physical invariants must hold — results bounded by the
 //! wire, conservation of bytes, latency floors, monotonicity.
+//!
+//! Randomised with the in-tree, seedable [`SplitMix64`] (the workspace
+//! builds with zero external dependencies), so every run explores the
+//! same geometry sample and failures reproduce exactly.
 
 use pcie_bench_repro::bench::{
     run_bandwidth, run_latency, BenchParams, BenchSetup, BwOp, CacheState, LatOp, Pattern,
 };
 use pcie_bench_repro::device::DmaPath;
 use pcie_bench_repro::host::presets::NumaPlacement;
-use proptest::prelude::*;
+use pcie_bench_repro::sim::SplitMix64;
 
-fn arb_params() -> impl Strategy<Value = BenchParams> {
-    (
-        1u64..=11, // window = 4KiB << n  (4KiB..4MiB)
-        prop_oneof![Just(8u32), 8u32..=2048,],
-        0u32..64,
-        prop_oneof![Just(Pattern::Sequential), Just(Pattern::Random)],
-        prop_oneof![
-            Just(CacheState::Cold),
-            Just(CacheState::HostWarm),
-            Just(CacheState::DeviceWarm)
-        ],
-    )
-        .prop_map(|(w, transfer, offset, pattern, cache)| BenchParams {
-            window: 4096u64 << w,
+const CASES: usize = 24;
+
+/// Draws a valid benchmark geometry: window 8KiB–8MiB, transfer 8 or
+/// 8–2048B, offset 0–63, any pattern/cache state, local placement —
+/// the same distribution the earlier proptest strategy used.
+fn arb_params(rng: &mut SplitMix64) -> BenchParams {
+    loop {
+        let transfer = if rng.chance(0.5) {
+            8
+        } else {
+            rng.range(8, 2049) as u32
+        };
+        let p = BenchParams {
+            window: 4096u64 << rng.range(1, 12),
             transfer,
-            offset,
-            pattern,
-            cache,
+            offset: rng.range(0, 64) as u32,
+            pattern: if rng.chance(0.5) {
+                Pattern::Sequential
+            } else {
+                Pattern::Random
+            },
+            cache: match rng.range(0, 3) {
+                0 => CacheState::Cold,
+                1 => CacheState::HostWarm,
+                _ => CacheState::DeviceWarm,
+            },
             placement: NumaPlacement::Local,
-        })
-        .prop_filter("valid geometry", |p| p.validate().is_ok())
+        };
+        if p.validate().is_ok() {
+            return p;
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    #[test]
-    fn bandwidth_bounded_by_physical_link(params in arb_params()) {
+#[test]
+fn bandwidth_bounded_by_physical_link() {
+    let mut rng = SplitMix64::new(0xB0A7_10AD);
+    for _ in 0..CASES {
+        let params = arb_params(&mut rng);
         let setup = BenchSetup::netfpga_hsw();
         for op in [BwOp::Rd, BwOp::Wr] {
             let r = run_bandwidth(&setup, &params, op, 600, DmaPath::DmaEngine);
-            prop_assert!(r.gbps > 0.0);
+            assert!(r.gbps > 0.0);
             // Payload can never exceed the physical link rate.
             let phys = setup.link.phys_bw() / 1e9;
-            prop_assert!(
+            assert!(
                 r.gbps < phys,
-                "{} {:?}: {} Gb/s exceeds the {phys} Gb/s wire", op.name(), params, r.gbps
+                "{} {:?}: {} Gb/s exceeds the {phys} Gb/s wire",
+                op.name(),
+                params,
+                r.gbps
             );
         }
     }
+}
 
-    #[test]
-    fn latency_has_a_physical_floor(params in arb_params()) {
+#[test]
+fn latency_has_a_physical_floor() {
+    let mut rng = SplitMix64::new(0xF1007);
+    for _ in 0..CASES {
+        let params = arb_params(&mut rng);
         let setup = BenchSetup::netfpga_hsw();
         let r = run_latency(&setup, &params, LatOp::Rd, 120, DmaPath::DmaEngine);
         // Round trip can never beat 2x propagation (300ns on this
         // platform) plus the host pipeline.
-        prop_assert!(r.summary.min >= 300.0, "min {} below physical floor", r.summary.min);
-        prop_assert!(r.summary.min <= r.summary.median);
-        prop_assert!(r.summary.median <= r.summary.p95);
-        prop_assert!(r.summary.p95 <= r.summary.max);
-    }
-
-    #[test]
-    fn wrrd_never_faster_than_a_warm_read(params in arb_params()) {
-        // Note: cold WRRD can beat cold RD — the DMA write warms the
-        // line through DDIO before the read (visible in the paper's
-        // Figure 7a). The true floor of WRRD is therefore the *warm*
-        // read plus something for the write in front of it.
-        let setup = BenchSetup::netfpga_hsw();
-        let warm = BenchParams { cache: CacheState::HostWarm, ..params };
-        let rd = run_latency(&setup, &warm, LatOp::Rd, 120, DmaPath::DmaEngine);
-        let setup2 = BenchSetup::netfpga_hsw();
-        let wrrd = run_latency(&setup2, &params, LatOp::WrRd, 120, DmaPath::DmaEngine);
-        prop_assert!(
-            wrrd.summary.median >= rd.summary.median,
-            "WRRD {} < warm RD {}", wrrd.summary.median, rd.summary.median
+        assert!(
+            r.summary.min >= 300.0,
+            "min {} below physical floor ({params:?})",
+            r.summary.min
         );
-    }
-
-    #[test]
-    fn host_accounting_conserves_bytes(params in arb_params()) {
-        let setup = BenchSetup::netfpga_hsw();
-        let n = 400usize;
-        let (mut platform, buf) = setup.build(&params);
-        let mut seq = pcie_bench_repro::bench::access::AccessSequence::new(&params, 7);
-        for _ in 0..n {
-            let off = seq.next_offset();
-            platform.dma_read(pcie_bench_repro::sim::SimTime::ZERO, &buf, off,
-                              params.transfer, DmaPath::DmaEngine);
-        }
-        let stats = platform.host.stats();
-        prop_assert_eq!(stats.bytes_read, n as u64 * params.transfer as u64);
-        // Each read chunk becomes at least one request TLP.
-        prop_assert!(stats.read_tlps >= n as u64);
+        assert!(r.summary.min <= r.summary.median);
+        assert!(r.summary.median <= r.summary.p95);
+        assert!(r.summary.p95 <= r.summary.max);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
-
-    #[test]
-    fn larger_windows_never_speed_up_warm_reads(shift in 0u64..8) {
-        // Monotonicity: growing the working set can only hurt (or not
-        // affect) warm-cache read bandwidth.
+#[test]
+fn wrrd_never_faster_than_a_warm_read() {
+    // Note: cold WRRD can beat cold RD — the DMA write warms the
+    // line through DDIO before the read (visible in the paper's
+    // Figure 7a). The true floor of WRRD is therefore the *warm*
+    // read plus something for the write in front of it.
+    let mut rng = SplitMix64::new(0x3A1AD);
+    for _ in 0..CASES {
+        let params = arb_params(&mut rng);
         let setup = BenchSetup::netfpga_hsw();
-        let bw = |window: u64| {
-            let p = BenchParams {
-                window,
-                ..BenchParams::baseline(64)
-            };
-            run_bandwidth(&setup, &p, BwOp::Rd, 1_500, DmaPath::DmaEngine).gbps
+        let warm = BenchParams {
+            cache: CacheState::HostWarm,
+            ..params
         };
-        let small = bw(64 << 10);
+        let rd = run_latency(&setup, &warm, LatOp::Rd, 120, DmaPath::DmaEngine);
+        let setup2 = BenchSetup::netfpga_hsw();
+        let wrrd = run_latency(&setup2, &params, LatOp::WrRd, 120, DmaPath::DmaEngine);
+        assert!(
+            wrrd.summary.median >= rd.summary.median,
+            "WRRD {} < warm RD {} ({params:?})",
+            wrrd.summary.median,
+            rd.summary.median
+        );
+    }
+}
+
+/// Byte-conservation check shared by the random sweep and the pinned
+/// regression case below.
+fn check_byte_conservation(params: &BenchParams) {
+    let setup = BenchSetup::netfpga_hsw();
+    let n = 400usize;
+    let (mut platform, buf) = setup.build(params);
+    let mut seq = pcie_bench_repro::bench::access::AccessSequence::new(params, 7);
+    for _ in 0..n {
+        let off = seq.next_offset();
+        platform.dma_read(
+            pcie_bench_repro::sim::SimTime::ZERO,
+            &buf,
+            off,
+            params.transfer,
+            DmaPath::DmaEngine,
+        );
+    }
+    let stats = platform.host.stats();
+    assert_eq!(
+        stats.bytes_read,
+        n as u64 * params.transfer as u64,
+        "{params:?}"
+    );
+    // Each read chunk becomes at least one request TLP.
+    assert!(stats.read_tlps >= n as u64, "{params:?}");
+}
+
+#[test]
+fn host_accounting_conserves_bytes() {
+    let mut rng = SplitMix64::new(0xC0_15E7);
+    for _ in 0..CASES {
+        check_byte_conservation(&arb_params(&mut rng));
+    }
+}
+
+#[test]
+fn host_accounting_conserves_bytes_regression_min_sequential_cold() {
+    // Shrunk failure case from an earlier proptest run (formerly kept
+    // in tests/properties.proptest-regressions): the smallest cold
+    // sequential geometry.
+    check_byte_conservation(&BenchParams {
+        window: 8192,
+        transfer: 8,
+        offset: 0,
+        pattern: Pattern::Sequential,
+        cache: CacheState::Cold,
+        placement: NumaPlacement::Local,
+    });
+}
+
+#[test]
+fn larger_windows_never_speed_up_warm_reads() {
+    // Monotonicity: growing the working set can only hurt (or not
+    // affect) warm-cache read bandwidth.
+    let setup = BenchSetup::netfpga_hsw();
+    let bw = |window: u64| {
+        let p = BenchParams {
+            window,
+            ..BenchParams::baseline(64)
+        };
+        run_bandwidth(&setup, &p, BwOp::Rd, 1_500, DmaPath::DmaEngine).gbps
+    };
+    let small = bw(64 << 10);
+    for shift in 0u64..8 {
         let large = bw((64 << 10) << shift);
-        prop_assert!(large <= small * 1.03, "window growth sped reads up: {small} -> {large}");
+        assert!(
+            large <= small * 1.03,
+            "window growth sped reads up: {small} -> {large} (shift {shift})"
+        );
     }
 }

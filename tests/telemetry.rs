@@ -1,0 +1,202 @@
+//! Tier-1 telemetry integration tests: the cross-layer counters
+//! exported by `pcie-telemetry` must reconcile with the paper's
+//! analytical model (Eq. 1–3) and with the end-to-end measurements —
+//! otherwise the observability story is decorative, not diagnostic.
+//!
+//! Geometry is kept aligned (offset 0, power-of-two transfer sizes,
+//! sequential pattern) so the simulator's TLP splitting matches the
+//! model's `ceil(sz/MPS)` / `ceil(sz/MRRS)` terms exactly.
+
+use pcie_bench_repro::bench::{
+    run_bandwidth, run_latency, BenchParams, BenchSetup, BwOp, CacheState, LatOp, Pattern,
+};
+use pcie_bench_repro::device::DmaPath;
+use pcie_bench_repro::host::presets::NumaPlacement;
+use pcie_bench_repro::model::bandwidth as model;
+
+fn aligned_params(transfer: u32) -> BenchParams {
+    BenchParams {
+        window: 8192,
+        transfer,
+        offset: 0,
+        pattern: Pattern::Sequential,
+        cache: CacheState::HostWarm,
+        placement: NumaPlacement::Local,
+    }
+}
+
+#[test]
+fn read_wire_counters_match_model_eq2_eq3() {
+    // A DMA read costs Eq. 2 bytes upstream (MRd requests) and Eq. 3
+    // bytes downstream (CplD completions). The link's wire counters,
+    // surfaced through the telemetry snapshot, must agree exactly.
+    let setup = BenchSetup::netfpga_hsw().with_telemetry();
+    let link = setup.link;
+    for transfer in [64u32, 256, 512] {
+        let n = 200usize;
+        let r = run_latency(
+            &setup,
+            &aligned_params(transfer),
+            LatOp::Rd,
+            n,
+            DmaPath::DmaEngine,
+        );
+        let snap = r.telemetry.as_ref().expect("telemetry enabled");
+        let up = snap.group("link.upstream").expect("upstream group");
+        let down = snap.group("link.downstream").expect("downstream group");
+        assert_eq!(
+            up.get("tlp_bytes"),
+            Some(n as u64 * model::dma_read_request_bytes(&link, transfer)),
+            "Eq. 2 upstream bytes, transfer {transfer}"
+        );
+        assert_eq!(
+            down.get("tlp_bytes"),
+            Some(n as u64 * model::dma_read_completion_bytes(&link, transfer)),
+            "Eq. 3 downstream bytes, transfer {transfer}"
+        );
+        // Completion payload is the data itself.
+        assert_eq!(
+            down.get("payload_bytes"),
+            Some(n as u64 * transfer as u64),
+            "downstream payload, transfer {transfer}"
+        );
+    }
+}
+
+#[test]
+fn write_wire_counters_match_model_eq1() {
+    // A DMA write costs Eq. 1 bytes upstream (MWr header per MPS chunk
+    // plus the payload) and nothing downstream beyond DLLPs.
+    let setup = BenchSetup::netfpga_hsw().with_telemetry();
+    let link = setup.link;
+    for transfer in [64u32, 256, 1024] {
+        let n = 300usize;
+        let r = run_bandwidth(
+            &setup,
+            &aligned_params(transfer),
+            BwOp::Wr,
+            n,
+            DmaPath::DmaEngine,
+        );
+        let snap = r.telemetry.as_ref().expect("telemetry enabled");
+        let up = snap.group("link.upstream").expect("upstream group");
+        assert_eq!(
+            up.get("tlp_bytes"),
+            Some(n as u64 * model::dma_write_bytes(&link, transfer)),
+            "Eq. 1 upstream bytes, transfer {transfer}"
+        );
+        assert_eq!(up.get("payload_bytes"), Some(n as u64 * transfer as u64));
+        let down = snap.group("link.downstream").expect("downstream group");
+        assert_eq!(down.get("tlp_bytes"), Some(0), "writes are posted");
+    }
+}
+
+#[test]
+fn wrrd_wire_counters_are_eq1_plus_eq2_up_and_eq3_down() {
+    let setup = BenchSetup::netfpga_hsw().with_telemetry();
+    let link = setup.link;
+    let transfer = 256u32;
+    let n = 150usize;
+    let r = run_latency(
+        &setup,
+        &aligned_params(transfer),
+        LatOp::WrRd,
+        n,
+        DmaPath::DmaEngine,
+    );
+    let snap = r.telemetry.as_ref().expect("telemetry enabled");
+    let expected_up = n as u64
+        * (model::dma_write_bytes(&link, transfer) + model::dma_read_request_bytes(&link, transfer));
+    assert_eq!(
+        snap.group("link.upstream").unwrap().get("tlp_bytes"),
+        Some(expected_up)
+    );
+    assert_eq!(
+        snap.group("link.downstream").unwrap().get("tlp_bytes"),
+        Some(n as u64 * model::dma_read_completion_bytes(&link, transfer))
+    );
+}
+
+#[test]
+fn stage_breakdown_reconciles_with_end_to_end() {
+    // The tentpole acceptance check, through the public API: for every
+    // system and op, the per-stage contributions must sum to the
+    // end-to-end total within rounding.
+    for setup in [
+        BenchSetup::netfpga_hsw().with_telemetry(),
+        BenchSetup::nfp6000_hsw().with_telemetry(),
+    ] {
+        for op in [LatOp::Rd, LatOp::WrRd] {
+            let r = run_latency(&setup, &aligned_params(64), op, 300, DmaPath::DmaEngine);
+            let snap = r.telemetry.as_ref().expect("telemetry enabled");
+            let st = snap.stages().expect("stage report");
+            assert_eq!(st.transactions, 300);
+            let sum = st.stage_total_ns();
+            assert!(
+                (sum - st.end_to_end_total_ns).abs() <= 1e-6 * st.end_to_end_total_ns,
+                "{} on {}: stage sum {} vs end-to-end {}",
+                op.name(),
+                setup.preset.name,
+                sum,
+                st.end_to_end_total_ns
+            );
+            // And the export paths carry the same reconciliation.
+            let json = snap.to_json();
+            assert!(json.contains("\"stage_total_ns\""), "{json}");
+            assert!(snap.to_csv().contains("stage,host,total_ns,"));
+        }
+    }
+}
+
+#[test]
+fn host_cache_counters_track_cache_state() {
+    // Warm windows hit in the LLC; cold windows miss to DRAM. The
+    // telemetry counters must reflect that, per NUMA node.
+    let setup = BenchSetup::netfpga_hsw().with_telemetry();
+    let warm = run_latency(
+        &setup,
+        &aligned_params(64),
+        LatOp::Rd,
+        200,
+        DmaPath::DmaEngine,
+    );
+    let warm_snap = warm.telemetry.as_ref().unwrap();
+    let warm_cache = warm_snap.group("host.cache.node0").expect("cache group");
+    assert!(warm_cache.get("read_hits").unwrap() > 0);
+    assert_eq!(warm_cache.get("read_misses"), Some(0));
+
+    let cold_params = BenchParams {
+        cache: CacheState::Cold,
+        ..aligned_params(64)
+    };
+    let cold = run_latency(&setup, &cold_params, LatOp::Rd, 200, DmaPath::DmaEngine);
+    let cold_snap = cold.telemetry.as_ref().unwrap();
+    let cold_cache = cold_snap.group("host.cache.node0").expect("cache group");
+    assert!(cold_cache.get("read_misses").unwrap() > 0);
+    assert!(cold_snap.group("host.dram.node0").unwrap().get("lines_read").unwrap() > 0);
+}
+
+#[test]
+fn iommu_counters_present_only_when_enabled() {
+    use pcie_bench_repro::bench::IommuMode;
+    let off = BenchSetup::nfp6000_bdw().with_telemetry();
+    let r = run_latency(
+        &off,
+        &aligned_params(64),
+        LatOp::Rd,
+        100,
+        DmaPath::DmaEngine,
+    );
+    assert!(r.telemetry.as_ref().unwrap().group("host.iommu").is_none());
+
+    let on = BenchSetup::nfp6000_bdw()
+        .with_iommu(IommuMode::FourK)
+        .with_telemetry();
+    let r = run_latency(&on, &aligned_params(64), LatOp::Rd, 100, DmaPath::DmaEngine);
+    let snap = r.telemetry.as_ref().unwrap();
+    let iommu = snap.group("host.iommu").expect("iommu group");
+    let hits = iommu.get("tlb_hits").unwrap();
+    let misses = iommu.get("tlb_misses").unwrap();
+    assert!(hits + misses > 0, "IOTLB saw traffic");
+    assert_eq!(iommu.get("page_walks"), Some(misses));
+}
