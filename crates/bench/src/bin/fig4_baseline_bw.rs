@@ -8,14 +8,16 @@ use pcie_bench_harness::{baseline_params, baseline_setups, fig4_sizes, header, n
 use pcie_device::DmaPath;
 use pcie_model::bandwidth as model;
 use pcie_model::config::LinkConfig;
+use pcie_par::Pool;
 use pciebench::report::format_multi_series;
-use pciebench::{run_bandwidth, BwOp};
+use pciebench::{run_bandwidth_with, BenchScratch, BwOp};
 
 fn main() {
     let (nfp, netfpga) = baseline_setups();
     let link = LinkConfig::gen3_x8();
     let sizes = fig4_sizes();
     let txns = n(20_000);
+    let pool = Pool::from_env();
 
     for (op, panel, model_fn) in [
         (
@@ -31,17 +33,23 @@ fn main() {
         ),
     ] {
         header(&format!("Figure 4{panel} — {}", op.name()));
+        // Every transfer size is an independent grid point: fan the
+        // sweep across the pool, results back in size order.
+        let rows = pool.run_with(sizes.len(), BenchScratch::new, |scratch, i| {
+            let sz = sizes[i];
+            let a = run_bandwidth_with(&nfp, &baseline_params(sz), op, txns, DmaPath::DmaEngine, scratch);
+            let b = run_bandwidth_with(&netfpga, &baseline_params(sz), op, txns, DmaPath::DmaEngine, scratch);
+            (a.gbps, b.gbps)
+        });
         let mut m_series = Vec::new();
         let mut eth = Vec::new();
         let mut nfp_series = Vec::new();
         let mut fpga_series = Vec::new();
-        for &sz in &sizes {
+        for (&sz, &(a, b)) in sizes.iter().zip(&rows) {
             m_series.push((sz, model_fn(&link, sz) / 1e9));
             eth.push((sz, model::ethernet_required_bandwidth(40e9, sz) / 1e9));
-            let a = run_bandwidth(&nfp, &baseline_params(sz), op, txns, DmaPath::DmaEngine);
-            nfp_series.push((sz, a.gbps));
-            let b = run_bandwidth(&netfpga, &baseline_params(sz), op, txns, DmaPath::DmaEngine);
-            fpga_series.push((sz, b.gbps));
+            nfp_series.push((sz, a));
+            fpga_series.push((sz, b));
         }
         print!(
             "{}",

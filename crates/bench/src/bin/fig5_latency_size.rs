@@ -6,44 +6,54 @@
 
 use pcie_bench_harness::{baseline_params, baseline_setups, header, n, print_stage_breakdown};
 use pcie_device::DmaPath;
-use pciebench::{run_latency, LatOp};
+use pcie_par::Pool;
+use pciebench::{run_latency, run_latency_summary, BenchScratch, LatOp};
 
 fn main() {
     header("Figure 5: median DMA latency vs transfer size (min / p95 bars)");
     let (nfp, netfpga) = baseline_setups();
     let txns = n(2_000);
     let sizes = [8u32, 16, 32, 64, 128, 256, 512, 1024, 2048];
+    let pool = Pool::from_env();
 
     println!(
         "# {:>6} {:>30} {:>30}",
         "size", "LAT_RD med[min,p95] (ns)", "LAT_WRRD med[min,p95] (ns)"
     );
-    for (name, setup) in [("NFP6000-HSW", &nfp), ("NetFPGA-HSW", &netfpga)] {
+    // Grid: (setup × size), each point measuring LAT_RD and LAT_WRRD.
+    // Fan the whole grid out at once, then print in grid order.
+    let setups = [("NFP6000-HSW", &nfp), ("NetFPGA-HSW", &netfpga)];
+    let grid: Vec<_> = setups
+        .iter()
+        .flat_map(|&(_, setup)| sizes.iter().map(move |&sz| (setup, sz)))
+        .collect();
+    let rows = pool.run_with(grid.len(), BenchScratch::new, |scratch, i| {
+        let (setup, sz) = grid[i];
+        let rd = run_latency_summary(
+            setup,
+            &baseline_params(sz),
+            LatOp::Rd,
+            txns,
+            DmaPath::DmaEngine,
+            scratch,
+        );
+        let wrrd = run_latency_summary(
+            setup,
+            &baseline_params(sz),
+            LatOp::WrRd,
+            txns,
+            DmaPath::DmaEngine,
+            scratch,
+        );
+        (rd, wrrd)
+    });
+    for (si, (name, _)) in setups.iter().enumerate() {
         println!("# --- {name} ---");
-        for &sz in &sizes {
-            let rd = run_latency(
-                setup,
-                &baseline_params(sz),
-                LatOp::Rd,
-                txns,
-                DmaPath::DmaEngine,
-            );
-            let wrrd = run_latency(
-                setup,
-                &baseline_params(sz),
-                LatOp::WrRd,
-                txns,
-                DmaPath::DmaEngine,
-            );
+        for (zi, &sz) in sizes.iter().enumerate() {
+            let (rd, wrrd) = &rows[si * sizes.len() + zi];
             println!(
                 "{:>8} {:>12.0} [{:>5.0},{:>6.0}] {:>12.0} [{:>5.0},{:>6.0}]",
-                sz,
-                rd.summary.median,
-                rd.summary.min,
-                rd.summary.p95,
-                wrrd.summary.median,
-                wrrd.summary.min,
-                wrrd.summary.p95
+                sz, rd.median, rd.min, rd.p95, wrrd.median, wrrd.min, wrrd.p95
             );
         }
     }

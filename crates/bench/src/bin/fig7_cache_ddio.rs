@@ -7,8 +7,10 @@
 use pcie_bench_harness::{header, n};
 use pcie_device::DmaPath;
 use pcie_host::presets::NumaPlacement;
+use pcie_par::Pool;
 use pciebench::{
-    run_bandwidth, run_latency, BenchParams, BenchSetup, BwOp, CacheState, LatOp, Pattern,
+    run_bandwidth_with, run_latency_summary, BenchParams, BenchScratch, BenchSetup, BwOp,
+    CacheState, LatOp, Pattern,
 };
 
 fn windows() -> Vec<u64> {
@@ -34,29 +36,41 @@ fn main() {
     let lat_txns = n(100_000);
     let bw_txns = n(20_000);
 
+    let pool = Pool::from_env();
+
     header("Figure 7(a): 8B latency vs window size (NFP command interface)");
     println!(
         "# {:>10} {:>14} {:>14} {:>16} {:>16}",
         "window", "LAT_RD(cold)", "LAT_RD(warm)", "LAT_WRRD(cold)", "LAT_WRRD(warm)"
     );
+    // Each (window, op, cache) cell is independent: 15 windows x 4
+    // combos fan out as 60 jobs, reassembled into rows afterwards.
+    let lat_combos = [
+        (LatOp::Rd, CacheState::Cold),
+        (LatOp::Rd, CacheState::HostWarm),
+        (LatOp::WrRd, CacheState::Cold),
+        (LatOp::WrRd, CacheState::HostWarm),
+    ];
+    let lat_grid: Vec<_> = windows()
+        .into_iter()
+        .flat_map(|w| lat_combos.iter().map(move |&(op, cache)| (w, op, cache)))
+        .collect();
+    let lat_cells = pool.run_with(lat_grid.len(), BenchScratch::new, |scratch, i| {
+        let (w, op, cache) = lat_grid[i];
+        run_latency_summary(
+            &setup,
+            &params(w, 8, cache),
+            op,
+            lat_txns,
+            DmaPath::CommandIf,
+            scratch,
+        )
+        .median
+    });
     let mut lat_rows = Vec::new();
-    for w in windows() {
+    for (wi, w) in windows().into_iter().enumerate() {
         let mut row = vec![w as f64];
-        for (op, cache) in [
-            (LatOp::Rd, CacheState::Cold),
-            (LatOp::Rd, CacheState::HostWarm),
-            (LatOp::WrRd, CacheState::Cold),
-            (LatOp::WrRd, CacheState::HostWarm),
-        ] {
-            let r = run_latency(
-                &setup,
-                &params(w, 8, cache),
-                op,
-                lat_txns,
-                DmaPath::CommandIf,
-            );
-            row.push(r.summary.median);
-        }
+        row.extend_from_slice(&lat_cells[wi * 4..wi * 4 + 4]);
         println!(
             "{:>12} {:>14.0} {:>14.0} {:>16.0} {:>16.0}",
             w, row[1], row[2], row[3], row[4]
@@ -69,24 +83,32 @@ fn main() {
         "# {:>10} {:>13} {:>13} {:>13} {:>13}",
         "window", "BW_RD(cold)", "BW_RD(warm)", "BW_WR(cold)", "BW_WR(warm)"
     );
+    let bw_combos = [
+        (BwOp::Rd, CacheState::Cold),
+        (BwOp::Rd, CacheState::HostWarm),
+        (BwOp::Wr, CacheState::Cold),
+        (BwOp::Wr, CacheState::HostWarm),
+    ];
+    let bw_grid: Vec<_> = windows()
+        .into_iter()
+        .flat_map(|w| bw_combos.iter().map(move |&(op, cache)| (w, op, cache)))
+        .collect();
+    let bw_cells = pool.run_with(bw_grid.len(), BenchScratch::new, |scratch, i| {
+        let (w, op, cache) = bw_grid[i];
+        run_bandwidth_with(
+            &setup,
+            &params(w, 64, cache),
+            op,
+            bw_txns,
+            DmaPath::DmaEngine,
+            scratch,
+        )
+        .gbps
+    });
     let mut bw_rows = Vec::new();
-    for w in windows() {
+    for (wi, w) in windows().into_iter().enumerate() {
         let mut row = vec![w as f64];
-        for (op, cache) in [
-            (BwOp::Rd, CacheState::Cold),
-            (BwOp::Rd, CacheState::HostWarm),
-            (BwOp::Wr, CacheState::Cold),
-            (BwOp::Wr, CacheState::HostWarm),
-        ] {
-            let r = run_bandwidth(
-                &setup,
-                &params(w, 64, cache),
-                op,
-                bw_txns,
-                DmaPath::DmaEngine,
-            );
-            row.push(r.gbps);
-        }
+        row.extend_from_slice(&bw_cells[wi * 4..wi * 4 + 4]);
         println!(
             "{:>12} {:>13.2} {:>13.2} {:>13.2} {:>13.2}",
             w, row[1], row[2], row[3], row[4]

@@ -7,7 +7,8 @@
 use pcie_bench_harness::{header, n};
 use pcie_device::DmaPath;
 use pcie_host::presets::NumaPlacement;
-use pciebench::{run_bandwidth, BenchParams, BenchSetup, BwOp, CacheState, Pattern};
+use pcie_par::Pool;
+use pciebench::{run_bandwidth_with, BenchParams, BenchScratch, BenchSetup, BwOp, CacheState, Pattern};
 
 fn main() {
     header("Figure 8: local vs remote DMA read bandwidth, warm cache (NFP6000-BDW)");
@@ -20,44 +21,54 @@ fn main() {
         "# %change of BW_RD (remote vs local)\n# {:>10} {:>10} {:>10} {:>10} {:>10}",
         "window", "64B", "128B", "256B", "512B"
     );
+    // Each (window, size) cell runs its local and remote measurement
+    // back to back in one job; 15 x 4 cells fan across the pool.
+    let grid: Vec<_> = windows
+        .iter()
+        .flat_map(|&w| sizes.iter().map(move |&sz| (w, sz)))
+        .collect();
+    let pool = Pool::from_env();
+    let cells = pool.run_with(grid.len(), BenchScratch::new, |scratch, i| {
+        let (w, sz) = grid[i];
+        let p = |placement| BenchParams {
+            window: w,
+            transfer: sz,
+            offset: 0,
+            pattern: Pattern::Random,
+            cache: CacheState::HostWarm,
+            placement,
+        };
+        let local = run_bandwidth_with(
+            &setup,
+            &p(NumaPlacement::Local),
+            BwOp::Rd,
+            txns,
+            DmaPath::DmaEngine,
+            scratch,
+        );
+        let remote = run_bandwidth_with(
+            &setup,
+            &p(NumaPlacement::Remote),
+            BwOp::Rd,
+            txns,
+            DmaPath::DmaEngine,
+            scratch,
+        );
+        (remote.gbps / local.gbps - 1.0) * 100.0
+    });
     let mut first_row = Vec::new();
     let mut last_row = Vec::new();
-    for &w in &windows {
-        let mut cells = Vec::new();
-        for &sz in &sizes {
-            let p = |placement| BenchParams {
-                window: w,
-                transfer: sz,
-                offset: 0,
-                pattern: Pattern::Random,
-                cache: CacheState::HostWarm,
-                placement,
-            };
-            let local = run_bandwidth(
-                &setup,
-                &p(NumaPlacement::Local),
-                BwOp::Rd,
-                txns,
-                DmaPath::DmaEngine,
-            );
-            let remote = run_bandwidth(
-                &setup,
-                &p(NumaPlacement::Remote),
-                BwOp::Rd,
-                txns,
-                DmaPath::DmaEngine,
-            );
-            cells.push((remote.gbps / local.gbps - 1.0) * 100.0);
-        }
+    for (wi, &w) in windows.iter().enumerate() {
+        let cells = &cells[wi * sizes.len()..(wi + 1) * sizes.len()];
         println!(
             "{:>12} {:>9.1}% {:>9.1}% {:>9.1}% {:>9.1}%",
             w, cells[0], cells[1], cells[2], cells[3]
         );
         if w == windows[0] {
-            first_row = cells.clone();
+            first_row = cells.to_vec();
         }
         if w == *windows.last().unwrap() {
-            last_row = cells.clone();
+            last_row = cells.to_vec();
         }
     }
 

@@ -5,10 +5,15 @@
 //!   cargo run --release --bin suite              # quick grid
 //!   PCIE_BENCH_SUITE=paper cargo run --release --bin suite
 //!   PCIE_BENCH_SYSTEM=netfpga-hsw cargo run --release --bin suite
+//!   PCIE_BENCH_THREADS=8 cargo run --release --bin suite   # pool width
+//!
+//! Independent grid points run on the `pcie-par` worker pool; output
+//! is bit-identical for every thread count. The trailing `# BENCH`
+//! line is machine-readable and scraped by `scripts/bench.sh`.
 
 use pcie_bench_harness::header;
-use pciebench::suite::{format_suite, run_suite, SuiteConfig};
-use pciebench::BenchSetup;
+use pciebench::suite::{format_suite, run_suite_timed, SuiteConfig};
+use pciebench::{BenchSetup, Pool};
 
 fn main() {
     let system = std::env::var("PCIE_BENCH_SYSTEM").unwrap_or_else(|_| "nfp6000-hsw".into());
@@ -33,12 +38,30 @@ fn main() {
         setup.preset.name,
         cfg.test_count()
     ));
-    let t0 = std::time::Instant::now();
-    let entries = run_suite(&setup, &cfg);
+    let pool = Pool::from_env();
+    let (entries, stats) = run_suite_timed(&setup, &cfg, &pool);
     print!("{}", format_suite(&entries));
+    let wall = stats.wall.as_secs_f64();
+    let seq_equiv = stats.sequential_equivalent().as_secs_f64();
     println!(
-        "\n# {} tests in {:.1}s (the paper's hardware run: ~2500 tests in ~4 hours)",
+        "\n# {} tests in {:.1}s on {} thread(s) (the paper's hardware run: ~2500 tests in ~4 hours)",
         entries.len(),
-        t0.elapsed().as_secs_f64()
+        wall,
+        stats.threads,
+    );
+    println!(
+        "# sequential-equivalent ~{:.1}s, speedup ~{:.2}x, {:.0} tests/s",
+        seq_equiv,
+        stats.speedup(),
+        stats.jobs_per_sec(),
+    );
+    // Machine-readable perf datapoint for scripts/bench.sh.
+    println!(
+        "# BENCH suite tests={} wall_s={:.3} seq_equiv_s={:.3} threads={} tests_per_s={:.1}",
+        entries.len(),
+        wall,
+        seq_equiv,
+        stats.threads,
+        stats.jobs_per_sec(),
     );
 }

@@ -10,6 +10,7 @@
 
 use crate::access::AccessSequence;
 use crate::params::BenchParams;
+use crate::scratch::BenchScratch;
 use crate::setup::BenchSetup;
 use pcie_device::DmaPath;
 use pcie_link::Direction;
@@ -68,9 +69,24 @@ pub fn run_bandwidth(
     n: usize,
     path: DmaPath,
 ) -> BwResult {
+    run_bandwidth_with(setup, params, op, n, path, &mut BenchScratch::new())
+}
+
+/// [`run_bandwidth`] journalling through reusable `scratch` buffers —
+/// the full-suite hot path. The access-order permutation (up to one
+/// `u32` per window unit) is recycled across tests instead of
+/// reallocated; results are bit-identical to [`run_bandwidth`].
+pub fn run_bandwidth_with(
+    setup: &BenchSetup,
+    params: &BenchParams,
+    op: BwOp,
+    n: usize,
+    path: DmaPath,
+    scratch: &mut BenchScratch,
+) -> BwResult {
     assert!(n > 0);
     let (mut platform, buf) = setup.build(params);
-    let mut seq = AccessSequence::new(params, setup.seed ^ 0xBA4D);
+    let mut seq = AccessSequence::with_buffer(params, setup.seed ^ 0xBA4D, scratch.take_order());
     let mut last = SimTime::ZERO;
     for i in 0..n {
         let off = seq.next_offset();
@@ -89,6 +105,7 @@ pub fn run_bandwidth(
         };
         last = last.max(r.done);
     }
+    scratch.put_order(seq.into_buffer());
     let elapsed = last;
     let data_bytes = match op {
         BwOp::Rd | BwOp::Wr => n as u64 * params.transfer as u64,
@@ -206,6 +223,21 @@ mod tests {
             at_257 < at_256,
             "257B ({at_257}) must dip below 256B ({at_256})"
         );
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        let setup = BenchSetup::netfpga_hsw();
+        let mut scratch = BenchScratch::new();
+        for sz in [64u32, 257, 1024] {
+            let p = BenchParams::baseline(sz);
+            let fresh = run_bandwidth(&setup, &p, BwOp::RdWr, 500, DmaPath::DmaEngine);
+            let reused =
+                run_bandwidth_with(&setup, &p, BwOp::RdWr, 500, DmaPath::DmaEngine, &mut scratch);
+            assert_eq!(fresh.gbps, reused.gbps, "size {sz}");
+            assert_eq!(fresh.mtps, reused.mtps, "size {sz}");
+            assert_eq!(fresh.elapsed, reused.elapsed, "size {sz}");
+        }
     }
 
     #[test]

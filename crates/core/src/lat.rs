@@ -8,8 +8,9 @@
 
 use crate::access::AccessSequence;
 use crate::params::BenchParams;
+use crate::scratch::BenchScratch;
 use crate::setup::BenchSetup;
-use crate::stats::{Cdf, Summary};
+use crate::stats::{sort_samples, Cdf, Summary};
 use pcie_device::DmaPath;
 use pcie_sim::SimTime;
 use pcie_telemetry::Snapshot;
@@ -41,8 +42,13 @@ pub struct LatencyResult {
     pub op: LatOp,
     /// Geometry used.
     pub params: BenchParams,
-    /// Per-transaction latencies in ns (timestamp-quantised).
+    /// Per-transaction latencies in ns (timestamp-quantised), in
+    /// issue order.
     pub samples_ns: Vec<f64>,
+    /// `samples_ns` sorted ascending — computed once and shared by
+    /// [`LatencyResult::summary`] and [`LatencyResult::cdf`], instead
+    /// of each clone-and-sorting the journal again.
+    pub sorted_ns: Vec<f64>,
     /// Summary statistics.
     pub summary: Summary,
     /// Cross-layer telemetry snapshot, present when the setup was
@@ -53,9 +59,10 @@ pub struct LatencyResult {
 }
 
 impl LatencyResult {
-    /// CDF of the samples (Figure 6).
+    /// CDF of the samples (Figure 6), derived from the shared sorted
+    /// buffer — no further clone or sort.
     pub fn cdf(&self, max_points: usize) -> Cdf {
-        Cdf::from_samples(&self.samples_ns, max_points)
+        Cdf::from_sorted(&self.sorted_ns, max_points)
     }
 }
 
@@ -71,21 +78,11 @@ pub fn run_latency(
     n: usize,
     path: DmaPath,
 ) -> LatencyResult {
-    assert!(n > 0);
-    let (mut platform, buf) = setup.build(params);
-    let mut seq = AccessSequence::new(params, setup.seed ^ 0xACCE55);
-    let mut samples = Vec::with_capacity(n);
-    let mut now = SimTime::ZERO;
-    for _ in 0..n {
-        let off = seq.next_offset();
-        let r = match op {
-            LatOp::Rd => platform.dma_read(now, &buf, off, params.transfer, path),
-            LatOp::WrRd => platform.dma_write_read(now, &buf, off, params.transfer, path),
-        };
-        samples.push(platform.quantize(r.latency()).as_ns_f64());
-        now = r.done + JOURNAL_GAP;
-    }
-    let summary = Summary::from_samples(&samples);
+    let mut scratch = BenchScratch::new();
+    let (platform, _) = measure(setup, params, op, n, path, &mut scratch);
+    let samples = std::mem::take(&mut scratch.samples);
+    let sorted = std::mem::take(&mut scratch.sorted);
+    let summary = Summary::from_sorted(&sorted);
     let telemetry = platform
         .telemetry_enabled()
         .then(|| platform.telemetry_snapshot(format!("{}/{}", op.name(), params.transfer)));
@@ -93,9 +90,59 @@ pub fn run_latency(
         op,
         params: *params,
         samples_ns: samples,
+        sorted_ns: sorted,
         summary,
         telemetry,
     }
+}
+
+/// Summary-only latency run for the full-suite hot path: journals
+/// into `scratch`'s reusable buffers (pre-sized, recycled across
+/// tests) instead of allocating per test, and sorts once. Produces
+/// exactly the [`Summary`] that [`run_latency`] would.
+pub fn run_latency_summary(
+    setup: &BenchSetup,
+    params: &BenchParams,
+    op: LatOp,
+    n: usize,
+    path: DmaPath,
+    scratch: &mut BenchScratch,
+) -> Summary {
+    let _ = measure(setup, params, op, n, path, scratch);
+    Summary::from_sorted(&scratch.sorted)
+}
+
+/// The shared measurement loop: fills `scratch.samples` (issue order)
+/// and `scratch.sorted`, returning the platform for telemetry/state
+/// inspection and the last completion time.
+fn measure(
+    setup: &BenchSetup,
+    params: &BenchParams,
+    op: LatOp,
+    n: usize,
+    path: DmaPath,
+    scratch: &mut BenchScratch,
+) -> (pcie_device::Platform, SimTime) {
+    assert!(n > 0);
+    let (mut platform, buf) = setup.build(params);
+    let mut seq = AccessSequence::with_buffer(params, setup.seed ^ 0xACCE55, scratch.take_order());
+    scratch.samples.clear();
+    scratch.samples.reserve(n);
+    let mut now = SimTime::ZERO;
+    for _ in 0..n {
+        let off = seq.next_offset();
+        let r = match op {
+            LatOp::Rd => platform.dma_read(now, &buf, off, params.transfer, path),
+            LatOp::WrRd => platform.dma_write_read(now, &buf, off, params.transfer, path),
+        };
+        scratch.samples.push(platform.quantize(r.latency()).as_ns_f64());
+        now = r.done + JOURNAL_GAP;
+    }
+    scratch.put_order(seq.into_buffer());
+    scratch.sorted.clear();
+    scratch.sorted.extend_from_slice(&scratch.samples);
+    sort_samples(&mut scratch.sorted);
+    (platform, now)
 }
 
 #[cfg(test)]
@@ -192,6 +239,34 @@ mod tests {
         assert_eq!(snap.group("link.upstream").unwrap().get("tlps"), Some(400));
         // And telemetry does not perturb the measurement itself.
         assert_eq!(plain.samples_ns, r.samples_ns);
+    }
+
+    #[test]
+    fn summary_path_matches_full_result_and_reuses_buffers() {
+        let setup = BenchSetup::netfpga_hsw();
+        let mut scratch = BenchScratch::new();
+        // Alternate geometries so a dirty scratch from one test feeds
+        // the next — values must match fresh-allocation runs exactly.
+        for (sz, n) in [(64u32, 300usize), (512, 120), (8, 77)] {
+            let p = BenchParams::baseline(sz);
+            let full = run_latency(&setup, &p, LatOp::Rd, n, DmaPath::DmaEngine);
+            let s = run_latency_summary(&setup, &p, LatOp::Rd, n, DmaPath::DmaEngine, &mut scratch);
+            assert_eq!(full.summary, s, "size {sz}");
+            let mut resorted = full.samples_ns.clone();
+            crate::stats::sort_samples(&mut resorted);
+            assert_eq!(full.sorted_ns, resorted, "sorted buffer is the sorted journal");
+        }
+        let caps = scratch.capacities();
+        let s2 = run_latency_summary(
+            &setup,
+            &BenchParams::baseline(64),
+            LatOp::Rd,
+            300,
+            DmaPath::DmaEngine,
+            &mut scratch,
+        );
+        assert_eq!(caps, scratch.capacities(), "steady state: no regrowth");
+        assert!(s2.count == 300);
     }
 
     #[test]

@@ -32,15 +32,21 @@ pub mod export;
 pub mod lat;
 pub mod params;
 pub mod report;
+pub mod scratch;
 pub mod setup;
 pub mod stats;
 pub mod suite;
 
-pub use bw::{run_bandwidth, BwOp, BwResult};
-pub use lat::{run_latency, LatOp, LatencyResult};
+pub use bw::{run_bandwidth, run_bandwidth_with, BwOp, BwResult};
+pub use lat::{run_latency, run_latency_summary, LatOp, LatencyResult};
 pub use params::{BenchParams, CacheState, Pattern};
+pub use scratch::BenchScratch;
 pub use setup::{BenchSetup, IommuMode};
 pub use stats::Summary;
+
+/// Re-exported from `pcie-par`: the deterministic worker pool the
+/// [`suite`] driver fans grid points onto.
+pub use pcie_par::{Pool, PoolStats};
 
 /// Re-exported from `pcie-telemetry`: the snapshot type carried by
 /// [`LatencyResult::telemetry`] / [`BwResult::telemetry`].

@@ -1,0 +1,70 @@
+//! Reusable per-worker scratch buffers for the benchmark hot path.
+//!
+//! Every grid point of the §5.4 suite builds its own [`Platform`]
+//! (that cost is the experiment), but the *driver-side* allocations —
+//! the access-order permutation, the sample journal and its sorted
+//! copy — are pure waste when repeated thousands of times. A
+//! [`BenchScratch`] owns those three buffers; each pool worker keeps
+//! one and threads it through every test it executes, so after the
+//! largest test in a worker's share has run, that worker allocates
+//! nothing more. Reuse recycles only capacity, never contents, so
+//! results stay bit-identical to the allocate-fresh path.
+//!
+//! [`Platform`]: pcie_device::Platform
+
+/// Reusable buffers for [`run_latency_summary`](crate::lat::run_latency_summary)
+/// and [`run_bandwidth_with`](crate::bw::run_bandwidth_with).
+#[derive(Debug, Default)]
+pub struct BenchScratch {
+    /// Access-order permutation buffer (one `u32` per window unit).
+    pub(crate) order: Vec<u32>,
+    /// Per-transaction latency journal, in issue order.
+    pub(crate) samples: Vec<f64>,
+    /// Sorted copy of `samples` for percentile extraction.
+    pub(crate) sorted: Vec<f64>,
+}
+
+impl BenchScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the order buffer out for [`AccessSequence::with_buffer`]
+    /// (give it back with [`BenchScratch::put_order`]).
+    ///
+    /// [`AccessSequence::with_buffer`]: crate::access::AccessSequence::with_buffer
+    pub(crate) fn take_order(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.order)
+    }
+
+    /// Returns a previously taken order buffer for the next test.
+    pub(crate) fn put_order(&mut self, order: Vec<u32>) {
+        self.order = order;
+    }
+
+    /// Current capacities `(order, samples, sorted)` — observability
+    /// for tests asserting that reuse actually sticks.
+    pub fn capacities(&self) -> (usize, usize, usize) {
+        (
+            self.order.capacity(),
+            self.samples.capacity(),
+            self.sorted.capacity(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty_and_reports_capacity() {
+        let mut s = BenchScratch::new();
+        assert_eq!(s.capacities(), (0, 0, 0));
+        let mut o = s.take_order();
+        o.reserve(128);
+        s.put_order(o);
+        assert!(s.capacities().0 >= 128);
+    }
+}

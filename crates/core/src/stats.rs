@@ -26,25 +26,54 @@ pub struct Summary {
 impl Summary {
     /// Computes a summary. Sorts a copy of the data.
     ///
+    /// When a caller also needs a [`Cdf`] of the same samples, sort
+    /// once with [`sort_samples`] and use [`Summary::from_sorted`] +
+    /// [`Cdf::from_sorted`] instead of paying two clone-and-sorts.
+    ///
     /// # Panics
     /// If `samples` is empty or contains NaN.
     pub fn from_samples(samples: &[f64]) -> Summary {
         assert!(!samples.is_empty(), "no samples");
         let mut v = samples.to_vec();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
-        let count = v.len();
-        let avg = v.iter().sum::<f64>() / count as f64;
+        sort_samples(&mut v);
+        Summary::from_sorted(&v)
+    }
+
+    /// Computes a summary from already-sorted samples without copying.
+    ///
+    /// # Panics
+    /// If `sorted` is empty, unsorted, or contains NaN (an explicit
+    /// scan — NaN breaks percentile ranks silently otherwise).
+    pub fn from_sorted(sorted: &[f64]) -> Summary {
+        assert!(!sorted.is_empty(), "no samples");
+        assert!(
+            sorted.iter().all(|x| !x.is_nan()),
+            "NaN sample"
+        );
+        assert!(
+            sorted.windows(2).all(|w| w[0] <= w[1]),
+            "samples not sorted"
+        );
+        let count = sorted.len();
+        let avg = sorted.iter().sum::<f64>() / count as f64;
         Summary {
             count,
             avg,
-            min: v[0],
-            median: rank(&v, 0.50),
-            p95: rank(&v, 0.95),
-            p99: rank(&v, 0.99),
-            p999: rank(&v, 0.999),
-            max: v[count - 1],
+            min: sorted[0],
+            median: rank(sorted, 0.50),
+            p95: rank(sorted, 0.95),
+            p99: rank(sorted, 0.99),
+            p999: rank(sorted, 0.999),
+            max: sorted[count - 1],
         }
     }
+}
+
+/// Sorts a sample buffer ascending, panicking on NaN — the one
+/// comparator every stats consumer shares, so `from_sorted`
+/// constructors all agree on what "sorted" means.
+pub fn sort_samples(v: &mut [f64]) {
+    v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
 }
 
 /// Nearest-rank percentile on sorted data.
@@ -62,19 +91,35 @@ pub struct Cdf {
 
 impl Cdf {
     /// Builds a CDF, downsampled to at most `max_points` points.
+    /// Sorts a copy of the data; see [`Cdf::from_sorted`] to share
+    /// one sorted buffer with [`Summary::from_sorted`].
     pub fn from_samples(samples: &[f64], max_points: usize) -> Cdf {
-        assert!(!samples.is_empty() && max_points >= 2);
         let mut v = samples.to_vec();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
-        let n = v.len();
+        sort_samples(&mut v);
+        Cdf::from_sorted(&v, max_points)
+    }
+
+    /// Builds a CDF from already-sorted samples without copying.
+    ///
+    /// # Panics
+    /// If `sorted` is empty, `max_points < 2`, or the data is
+    /// unsorted / contains NaN.
+    pub fn from_sorted(sorted: &[f64], max_points: usize) -> Cdf {
+        assert!(!sorted.is_empty() && max_points >= 2);
+        assert!(sorted.iter().all(|x| !x.is_nan()), "NaN sample");
+        assert!(
+            sorted.windows(2).all(|w| w[0] <= w[1]),
+            "samples not sorted"
+        );
+        let n = sorted.len();
         let step = (n / max_points).max(1);
-        let mut points: Vec<(f64, f64)> = v
+        let mut points: Vec<(f64, f64)> = sorted
             .iter()
             .enumerate()
             .step_by(step)
             .map(|(i, &x)| (x, (i + 1) as f64 / n as f64))
             .collect();
-        let last = (v[n - 1], 1.0);
+        let last = (sorted[n - 1], 1.0);
         if points.last() != Some(&last) {
             points.push(last);
         }
@@ -187,6 +232,36 @@ mod tests {
     #[should_panic(expected = "no samples")]
     fn summary_empty_panics() {
         Summary::from_samples(&[]);
+    }
+
+    #[test]
+    fn from_sorted_matches_from_samples() {
+        let mut v: Vec<f64> = (0..1000).map(|x| ((x * 7919) % 499) as f64).collect();
+        let unsorted = Summary::from_samples(&v);
+        let cdf_unsorted = Cdf::from_samples(&v, 64);
+        sort_samples(&mut v);
+        let sorted = Summary::from_sorted(&v);
+        let cdf_sorted = Cdf::from_sorted(&v, 64);
+        assert_eq!(unsorted, sorted, "one shared sort must change nothing");
+        assert_eq!(cdf_unsorted, cdf_sorted);
+    }
+
+    #[test]
+    #[should_panic(expected = "samples not sorted")]
+    fn from_sorted_rejects_unsorted() {
+        Summary::from_sorted(&[2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN sample")]
+    fn from_sorted_rejects_nan() {
+        Summary::from_sorted(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN sample")]
+    fn cdf_from_sorted_rejects_nan() {
+        Cdf::from_sorted(&[f64::NAN], 2);
     }
 
     #[test]

@@ -5,13 +5,24 @@
 //! about 4 hours of wall-clock time on hardware. The simulator runs a
 //! comparable grid in seconds; [`SuiteConfig::quick`] is a reduced grid
 //! for CI, [`SuiteConfig::paper`] approximates the full sweep.
+//!
+//! Every grid point builds its own `Platform` from the shared
+//! [`BenchSetup`] and derives its RNG streams from `setup.seed` plus
+//! its own parameters, so tests are completely independent: the grid
+//! is enumerated into a job list ([`SuiteConfig::jobs`]) and executed
+//! on a [`pcie_par::Pool`] — `PCIE_BENCH_THREADS` workers, `1`
+//! forcing the sequential path — with results returned in grid order.
+//! Parallel output is bit-identical to sequential output (pinned by
+//! `tests/parallel_suite.rs`).
 
-use crate::bw::{run_bandwidth, BwOp};
-use crate::lat::{run_latency, LatOp};
+use crate::bw::{run_bandwidth_with, BwOp};
+use crate::lat::{run_latency_summary, LatOp};
 use crate::params::{BenchParams, CacheState, Pattern};
+use crate::scratch::BenchScratch;
 use crate::setup::BenchSetup;
 use pcie_device::DmaPath;
 use pcie_host::presets::NumaPlacement;
+pub use pcie_par::{Pool, PoolStats};
 
 /// What a suite entry measured.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,8 +45,10 @@ pub enum Measurement {
     },
 }
 
-/// One labelled suite result.
-#[derive(Debug, Clone)]
+/// One labelled suite result. `PartialEq` compares measured values
+/// exactly (f64 `==`), which is what the bit-identical-under-
+/// parallelism guarantee is pinned against.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SuiteEntry {
     /// Benchmark name (`LAT_RD`, `BW_WR`, ...).
     pub bench: &'static str,
@@ -134,77 +147,144 @@ impl SuiteConfig {
         let bw = self.bw_sizes.len() * dims * 3;
         lat + bw
     }
-}
 
-/// Runs the full grid on `setup`.
-pub fn run_suite(setup: &BenchSetup, cfg: &SuiteConfig) -> Vec<SuiteEntry> {
-    let mut out = Vec::with_capacity(cfg.test_count());
-    for &window in &cfg.windows {
-        for &cache in &cfg.states {
-            for &offset in &cfg.offsets {
-                for &pattern in &cfg.patterns {
-                    for &sz in &cfg.lat_sizes {
-                        let params = BenchParams {
+    /// Enumerates the grid into its job list, in the canonical suite
+    /// order (window → cache → offset → pattern → latency sizes × ops
+    /// → bandwidth sizes × ops), skipping invalid geometry. This *is*
+    /// the output order of [`run_suite`], sequential or parallel.
+    pub fn jobs(&self) -> Vec<SuiteJob> {
+        let mut jobs = Vec::with_capacity(self.test_count());
+        for &window in &self.windows {
+            for &cache in &self.states {
+                for &offset in &self.offsets {
+                    for &pattern in &self.patterns {
+                        let params = |transfer| BenchParams {
                             window,
-                            transfer: sz,
+                            transfer,
                             offset,
                             pattern,
                             cache,
                             placement: NumaPlacement::Local,
                         };
-                        if params.validate().is_err() {
-                            continue;
+                        for &sz in &self.lat_sizes {
+                            let params = params(sz);
+                            if params.validate().is_err() {
+                                continue;
+                            }
+                            for op in [LatOp::Rd, LatOp::WrRd] {
+                                jobs.push(SuiteJob {
+                                    params,
+                                    op: SuiteOp::Lat(op),
+                                    n: self.n_lat,
+                                });
+                            }
                         }
-                        for op in [LatOp::Rd, LatOp::WrRd] {
-                            let r = run_latency(setup, &params, op, cfg.n_lat, DmaPath::DmaEngine);
-                            out.push(SuiteEntry {
-                                bench: op.name(),
-                                transfer: sz,
-                                window,
-                                cache,
-                                offset,
-                                pattern,
-                                value: Measurement::LatencyNs {
-                                    median: r.summary.median,
-                                    p95: r.summary.p95,
-                                    p99: r.summary.p99,
-                                },
-                            });
-                        }
-                    }
-                    for &sz in &cfg.bw_sizes {
-                        let params = BenchParams {
-                            window,
-                            transfer: sz,
-                            offset,
-                            pattern,
-                            cache,
-                            placement: NumaPlacement::Local,
-                        };
-                        if params.validate().is_err() {
-                            continue;
-                        }
-                        for op in [BwOp::Rd, BwOp::Wr, BwOp::RdWr] {
-                            let r = run_bandwidth(setup, &params, op, cfg.n_bw, DmaPath::DmaEngine);
-                            out.push(SuiteEntry {
-                                bench: op.name(),
-                                transfer: sz,
-                                window,
-                                cache,
-                                offset,
-                                pattern,
-                                value: Measurement::Bandwidth {
-                                    gbps: r.gbps,
-                                    mtps: r.mtps,
-                                },
-                            });
+                        for &sz in &self.bw_sizes {
+                            let params = params(sz);
+                            if params.validate().is_err() {
+                                continue;
+                            }
+                            for op in [BwOp::Rd, BwOp::Wr, BwOp::RdWr] {
+                                jobs.push(SuiteJob {
+                                    params,
+                                    op: SuiteOp::Bw(op),
+                                    n: self.n_bw,
+                                });
+                            }
                         }
                     }
                 }
             }
         }
+        jobs
     }
-    out
+}
+
+/// The operation of one grid point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteOp {
+    /// A latency benchmark.
+    Lat(LatOp),
+    /// A bandwidth benchmark.
+    Bw(BwOp),
+}
+
+/// One independent grid point: geometry + operation + transaction
+/// count. Jobs carry everything a worker needs except the shared
+/// [`BenchSetup`], so any slice of them can run on any thread.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteJob {
+    /// Geometry of this test.
+    pub params: BenchParams,
+    /// Which benchmark to run.
+    pub op: SuiteOp,
+    /// Transactions to issue.
+    pub n: usize,
+}
+
+impl SuiteJob {
+    /// Runs this grid point, journalling through `scratch`.
+    pub fn run(&self, setup: &BenchSetup, scratch: &mut BenchScratch) -> SuiteEntry {
+        let p = &self.params;
+        let (bench, value) = match self.op {
+            SuiteOp::Lat(op) => {
+                let s = run_latency_summary(setup, p, op, self.n, DmaPath::DmaEngine, scratch);
+                (
+                    op.name(),
+                    Measurement::LatencyNs {
+                        median: s.median,
+                        p95: s.p95,
+                        p99: s.p99,
+                    },
+                )
+            }
+            SuiteOp::Bw(op) => {
+                let r = run_bandwidth_with(setup, p, op, self.n, DmaPath::DmaEngine, scratch);
+                (
+                    op.name(),
+                    Measurement::Bandwidth {
+                        gbps: r.gbps,
+                        mtps: r.mtps,
+                    },
+                )
+            }
+        };
+        SuiteEntry {
+            bench,
+            transfer: p.transfer,
+            window: p.window,
+            cache: p.cache,
+            offset: p.offset,
+            pattern: p.pattern,
+            value,
+        }
+    }
+}
+
+/// Runs the full grid on `setup`, on a pool sized by
+/// `PCIE_BENCH_THREADS` (default: available parallelism; `1` forces
+/// the sequential path). Output is in grid order and bit-identical
+/// for every thread count.
+pub fn run_suite(setup: &BenchSetup, cfg: &SuiteConfig) -> Vec<SuiteEntry> {
+    run_suite_on(setup, cfg, &Pool::from_env())
+}
+
+/// [`run_suite`] on an explicit pool.
+pub fn run_suite_on(setup: &BenchSetup, cfg: &SuiteConfig, pool: &Pool) -> Vec<SuiteEntry> {
+    run_suite_timed(setup, cfg, pool).0
+}
+
+/// [`run_suite_on`] plus pool execution statistics (wall-clock,
+/// per-worker busy time, achieved speedup) for perf tracking.
+pub fn run_suite_timed(
+    setup: &BenchSetup,
+    cfg: &SuiteConfig,
+    pool: &Pool,
+) -> (Vec<SuiteEntry>, PoolStats) {
+    let jobs = cfg.jobs();
+    pool.run_with_timed(jobs.len(), BenchScratch::new, |scratch, i| {
+        jobs[i].run(setup, scratch)
+    })
 }
 
 /// Renders suite entries as an aligned text table.

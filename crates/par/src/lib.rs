@@ -1,0 +1,363 @@
+//! # pcie-par — deterministic parallel execution of independent jobs
+//!
+//! The §5.4 control program runs thousands of individual tests; each
+//! one builds its own [`Platform`](../pcie_device/struct.Platform.html)
+//! and derives its RNG streams from the setup seed plus its own
+//! parameters, so grid points are completely independent. This crate
+//! fans such jobs across OS threads while keeping the *output* —
+//! values and ordering — bit-identical to a sequential run.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** Results are returned in input order, and no
+//!    job observes which thread ran it or in what order. Parallelism
+//!    is therefore unobservable in the results.
+//! 2. **Zero dependencies.** The build must succeed with no network
+//!    access, so no rayon: a [`std::thread::scope`] worker pool pulls
+//!    job indices from a shared [`AtomicUsize`] (work stealing at job
+//!    granularity — the same run-to-completion sharding DPDK-style
+//!    stacks use for independent per-core loops).
+//! 3. **The event engine stays single-threaded.** Each job owns its
+//!    platform; nothing inside `pcie-sim` is shared or locked.
+//!
+//! Thread count comes from `PCIE_BENCH_THREADS` (default:
+//! [`std::thread::available_parallelism`], clamped to
+//! [`MAX_THREADS`]); `1` forces the plain sequential loop with no
+//! threads spawned at all.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Upper clamp on the worker count: beyond this, per-thread platform
+/// state thrashes caches without adding useful parallelism.
+pub const MAX_THREADS: usize = 128;
+
+/// Environment variable selecting the worker count.
+pub const THREADS_ENV: &str = "PCIE_BENCH_THREADS";
+
+/// Thread count from [`THREADS_ENV`]: a positive integer is clamped
+/// to [`MAX_THREADS`]; unset, empty, `0` or unparsable falls back to
+/// [`default_threads`].
+pub fn threads_from_env() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .map(|n| n.min(MAX_THREADS))
+        .unwrap_or_else(default_threads)
+}
+
+/// The default worker count: available parallelism, clamped.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_THREADS)
+}
+
+/// Execution statistics for one pool run.
+///
+/// `busy` sums the time workers spent *inside* jobs, so it estimates
+/// what a sequential run of the same jobs would have cost
+/// ([`PoolStats::sequential_equivalent`]); `busy / wall` is the
+/// achieved speedup.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolStats {
+    /// Configured worker count.
+    pub threads: usize,
+    /// Workers actually spawned (`min(threads, jobs)`).
+    pub workers: usize,
+    /// Jobs executed.
+    pub jobs: usize,
+    /// Total in-job time summed over workers.
+    pub busy: Duration,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+}
+
+impl PoolStats {
+    /// Estimated sequential wall-clock for the same jobs.
+    pub fn sequential_equivalent(&self) -> Duration {
+        self.busy
+    }
+
+    /// Achieved speedup over the sequential-equivalent estimate
+    /// (1.0 when nothing ran).
+    pub fn speedup(&self) -> f64 {
+        if self.wall.is_zero() {
+            1.0
+        } else {
+            self.busy.as_secs_f64() / self.wall.as_secs_f64()
+        }
+    }
+
+    /// Jobs per second of wall-clock (0.0 when nothing ran).
+    pub fn jobs_per_sec(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.jobs as f64 / self.wall.as_secs_f64()
+        }
+    }
+}
+
+/// A fixed-width scoped worker pool.
+///
+/// The pool holds no threads between runs — each [`Pool::run`] spawns
+/// scoped workers, drains the job range and joins them, so a `Pool`
+/// is just a validated thread count and is trivially `Copy`.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool of exactly `n` workers (clamped to `1..=`[`MAX_THREADS`]).
+    pub fn with_threads(n: usize) -> Pool {
+        Pool {
+            threads: n.clamp(1, MAX_THREADS),
+        }
+    }
+
+    /// A pool sized by `PCIE_BENCH_THREADS` / available parallelism.
+    pub fn from_env() -> Pool {
+        Pool::with_threads(threads_from_env())
+    }
+
+    /// The always-sequential pool (today's behaviour).
+    pub fn sequential() -> Pool {
+        Pool::with_threads(1)
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `jobs` independent jobs, returning `f(i)` for each index
+    /// in input order.
+    pub fn run<T, F>(&self, jobs: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.run_with(jobs, || (), |(), i| f(i))
+    }
+
+    /// Maps `f` over `items` in parallel, preserving order.
+    pub fn map<A, T, F>(&self, items: &[A], f: F) -> Vec<T>
+    where
+        A: Sync,
+        T: Send,
+        F: Fn(&A) -> T + Sync,
+    {
+        self.run(items.len(), |i| f(&items[i]))
+    }
+
+    /// Like [`Pool::run`], but each worker first builds private
+    /// scratch state with `init` and threads it through every job it
+    /// executes — the hook the benchmark layer uses to reuse sample
+    /// and access-order buffers across grid points instead of
+    /// reallocating them per test.
+    pub fn run_with<S, T, I, F>(&self, jobs: usize, init: I, f: F) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        self.run_with_timed(jobs, init, f).0
+    }
+
+    /// [`Pool::run_with`] plus execution statistics.
+    pub fn run_with_timed<S, T, I, F>(&self, jobs: usize, init: I, f: F) -> (Vec<T>, PoolStats)
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        let wall0 = Instant::now();
+        // The sequential path: no threads, no atomics — bit-for-bit
+        // today's nested-loop behaviour, guaranteed by construction.
+        if self.threads == 1 || jobs <= 1 {
+            let mut state = init();
+            let mut busy = Duration::ZERO;
+            let out = (0..jobs)
+                .map(|i| {
+                    let t0 = Instant::now();
+                    let r = f(&mut state, i);
+                    busy += t0.elapsed();
+                    r
+                })
+                .collect();
+            let stats = PoolStats {
+                threads: self.threads,
+                workers: jobs.min(1),
+                jobs,
+                busy,
+                wall: wall0.elapsed(),
+            };
+            return (out, stats);
+        }
+
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(jobs);
+        let parts = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut state = init();
+                        let mut part = Vec::new();
+                        let mut busy = Duration::ZERO;
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= jobs {
+                                break;
+                            }
+                            let t0 = Instant::now();
+                            let r = f(&mut state, i);
+                            busy += t0.elapsed();
+                            part.push((i, r));
+                        }
+                        (part, busy)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join())
+                .collect::<Vec<_>>()
+        });
+
+        // Reassemble in input order so parallelism is unobservable.
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(jobs);
+        slots.resize_with(jobs, || None);
+        let mut busy = Duration::ZERO;
+        for part in parts {
+            match part {
+                Ok((items, b)) => {
+                    busy += b;
+                    for (i, r) in items {
+                        slots[i] = Some(r);
+                    }
+                }
+                // A job panicked: surface the original payload.
+                Err(e) => std::panic::resume_unwind(e),
+            }
+        }
+        let out = slots
+            .into_iter()
+            .map(|s| s.expect("work-stealing index covers every job"))
+            .collect();
+        let stats = PoolStats {
+            threads: self.threads,
+            workers,
+            jobs,
+            busy,
+            wall: wall0.elapsed(),
+        };
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately order-sensitive job: mixes the index through a
+    /// SplitMix64-style avalanche so any misrouted result is caught.
+    fn mix(i: usize) -> u64 {
+        let mut z = (i as u64).wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_in_order() {
+        let seq: Vec<u64> = Pool::sequential().run(1000, mix);
+        for threads in [2, 3, 4, 8] {
+            let par = Pool::with_threads(threads).run(1000, mix);
+            assert_eq!(seq, par, "threads={threads}");
+        }
+        assert_eq!(seq[0], mix(0));
+        assert_eq!(seq[999], mix(999));
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = Pool::with_threads(4).map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_job_edge_cases() {
+        let none: Vec<u64> = Pool::with_threads(4).run(0, mix);
+        assert!(none.is_empty());
+        let one = Pool::with_threads(4).run(1, mix);
+        assert_eq!(one, vec![mix(0)]);
+    }
+
+    #[test]
+    fn worker_state_reused_within_a_worker() {
+        // Sequential: one worker state sees every job.
+        let (counts, stats) =
+            Pool::sequential().run_with_timed(10, || 0u32, |calls, _i| {
+                *calls += 1;
+                *calls
+            });
+        assert_eq!(counts, (1..=10).collect::<Vec<_>>());
+        assert_eq!(stats.jobs, 10);
+        assert_eq!(stats.workers, 1);
+        // Parallel: each worker starts from a fresh state; per-job
+        // call counts never exceed the job count and start at 1.
+        let counts = Pool::with_threads(4).run_with(100, || 0u32, |calls, _i| {
+            *calls += 1;
+            *calls
+        });
+        assert!(counts.iter().all(|&c| (1..=100).contains(&c)));
+        assert!(counts.contains(&1));
+    }
+
+    #[test]
+    fn stats_are_sane() {
+        let (_, stats) = Pool::with_threads(4).run_with_timed(
+            64,
+            || (),
+            |(), i| {
+                // A little real work so busy time is nonzero.
+                (0..1000).fold(i as u64, |a, b| a.wrapping_mul(31).wrapping_add(b))
+            },
+        );
+        assert_eq!(stats.jobs, 64);
+        assert!(stats.workers <= 4);
+        assert!(stats.speedup() > 0.0);
+        assert!(stats.sequential_equivalent() >= Duration::ZERO);
+        assert!(stats.jobs_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn thread_clamping() {
+        assert_eq!(Pool::with_threads(0).threads(), 1);
+        assert_eq!(Pool::with_threads(MAX_THREADS + 7).threads(), MAX_THREADS);
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            Pool::with_threads(2).run(8, |i| {
+                if i == 5 {
+                    panic!("job 5 exploded");
+                }
+                i
+            })
+        });
+        let err = caught.expect_err("panic must propagate");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "job 5 exploded");
+    }
+}

@@ -1,0 +1,97 @@
+#!/bin/sh
+# Performance tracking: time the §5.4 suite (sequential vs parallel)
+# and per-figure regeneration, and emit BENCH_sim.json so every PR
+# records a perf datapoint for the simulator itself.
+#
+# Usage:
+#   scripts/bench.sh            # quick+paper suites, all figures
+#   scripts/bench.sh --quick    # skip the paper suite (CI / verify.sh)
+#
+# Environment:
+#   PCIE_BENCH_THREADS  worker count for the parallel runs
+#                       (default: nproc, i.e. the pool's own default)
+#   PCIE_BENCH_JSON     output path (default: BENCH_sim.json)
+#
+# Requires only a POSIX sh plus date/awk/grep/sed — no network access.
+
+set -eu
+cd "$(dirname "$0")/.."
+
+MODE=full
+[ "${1:-}" = "--quick" ] && MODE=quick
+OUT=${PCIE_BENCH_JSON:-BENCH_sim.json}
+CPUS=$(nproc 2>/dev/null || echo 1)
+THREADS=${PCIE_BENCH_THREADS:-$CPUS}
+
+echo "==> cargo build --release (bench binaries)"
+cargo build --release --quiet
+
+now_ns() { date +%s%N; }
+secs() { awk "BEGIN{printf \"%.3f\", ($2-$1)/1e9}" </dev/null; }
+ratio() { awk "BEGIN{if ($2+0==0) print \"null\"; else printf \"%.3f\", $1/$2}" </dev/null; }
+
+RUNS_FILE=$(mktemp)
+trap 'rm -f "$RUNS_FILE"' EXIT
+add_run() { printf '%s\n' "$1" >>"$RUNS_FILE"; }
+
+# field <bench-line> <key> — pull key=value off a `# BENCH suite` line.
+field() { printf '%s\n' "$1" | sed -n "s/.*$2=\([0-9.]*\).*/\1/p"; }
+
+# suite_run <label> <quick|paper> <threads> — run the suite binary and
+# record its machine-readable datapoint. Leaves wall_s in $wall.
+suite_run() {
+    label=$1 cfg=$2 threads=$3
+    line=$(PCIE_BENCH_SUITE=$cfg PCIE_BENCH_THREADS=$threads \
+        ./target/release/suite | grep '^# BENCH suite')
+    wall=$(field "$line" wall_s)
+    add_run "{\"name\":\"$label\",\"tests\":$(field "$line" tests),\"wall_s\":$wall,\"seq_equiv_s\":$(field "$line" seq_equiv_s),\"threads\":$(field "$line" threads),\"tests_per_s\":$(field "$line" tests_per_s)}"
+}
+
+# fig_run <binary> — time one figure regeneration at default scale.
+fig_run() {
+    t0=$(now_ns)
+    PCIE_BENCH_THREADS=$THREADS "./target/release/$1" >/dev/null
+    t1=$(now_ns)
+    wall=$(secs "$t0" "$t1")
+    add_run "{\"name\":\"$1\",\"wall_s\":$wall,\"threads\":$THREADS}"
+    echo "==> $1: ${wall}s"
+}
+
+echo "==> suite quick: sequential vs $THREADS thread(s)"
+suite_run suite_quick_seq quick 1;          Q_SEQ=$wall
+suite_run suite_quick_par quick "$THREADS"; Q_PAR=$wall
+echo "==> quick: ${Q_SEQ}s sequential, ${Q_PAR}s parallel"
+
+P_SPEEDUP=null
+if [ "$MODE" = "full" ]; then
+    echo "==> suite paper: sequential vs $THREADS thread(s) (minutes)"
+    suite_run suite_paper_seq paper 1;          P_SEQ=$wall
+    suite_run suite_paper_par paper "$THREADS"; P_PAR=$wall
+    echo "==> paper: ${P_SEQ}s sequential, ${P_PAR}s parallel"
+    P_SPEEDUP=$(ratio "$P_SEQ" "$P_PAR")
+fi
+
+for fig in fig4_baseline_bw fig5_latency_size fig7_cache_ddio fig8_numa fig9_iommu; do
+    fig_run "$fig"
+done
+
+Q_SPEEDUP=$(ratio "$Q_SEQ" "$Q_PAR")
+
+{
+    cat <<EOF
+{
+  "schema": "pcie-bench/bench/v1",
+  "generated_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "mode": "$MODE",
+  "host_cpus": $CPUS,
+  "threads": $THREADS,
+  "suite_quick_speedup": $Q_SPEEDUP,
+  "suite_paper_speedup": $P_SPEEDUP,
+  "runs": [
+EOF
+    # Comma-join the accumulated run objects.
+    sed -e 's/^/    /' -e '$!s/$/,/' "$RUNS_FILE"
+    printf '  ]\n}\n'
+} > "$OUT"
+[ "$P_SPEEDUP" = null ] && P_SHOWN="n/a" || P_SHOWN="${P_SPEEDUP}x"
+echo "==> wrote $OUT (quick speedup ${Q_SPEEDUP}x, paper speedup $P_SHOWN)"

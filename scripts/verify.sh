@@ -25,4 +25,12 @@ else
     echo "==> cargo clippy not installed; skipping lint"
 fi
 
+# Non-fatal perf datapoint: quick suite (sequential vs parallel) and
+# per-figure regeneration timings into BENCH_sim.json, so every PR
+# records the simulator's own performance trajectory.
+echo "==> scripts/bench.sh --quick (non-fatal)"
+if ! sh scripts/bench.sh --quick; then
+    echo "==> bench.sh failed (non-fatal, continuing)"
+fi
+
 echo "==> OK"

@@ -17,7 +17,10 @@
 //!   transfer sizes, offsets, access patterns, cache states, NUMA
 //!   placements and IOMMU modes (§4–6);
 //! * [`nic`] — NIC/driver simulations and the Figure 2 loopback
-//!   latency experiment.
+//!   latency experiment;
+//! * [`par`] — the deterministic scoped worker pool that fans
+//!   independent grid points across cores (`PCIE_BENCH_THREADS`)
+//!   while keeping results bit-identical to a sequential run.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +47,7 @@ pub use pcie_host as host;
 pub use pcie_link as link;
 pub use pcie_model as model;
 pub use pcie_nic as nic;
+pub use pcie_par as par;
 pub use pcie_sim as sim;
 pub use pcie_tlp as tlp;
 pub use pciebench as bench;

@@ -1,0 +1,86 @@
+//! Tier-1 determinism tests for the parallel sweep engine: running
+//! the §5.4 suite on a worker pool must be *unobservable* in the
+//! results — bit-identical `SuiteEntry` values, in the same grid
+//! order, for every thread count. Each grid point builds its own
+//! `Platform` and derives its RNG streams from `setup.seed` plus its
+//! own parameters, so this is a property of the architecture; these
+//! tests pin it so a future shared-state "optimisation" cannot
+//! silently break reproducibility.
+
+use pcie_bench_repro::bench::suite::{run_suite, run_suite_on, run_suite_timed, SuiteConfig};
+use pcie_bench_repro::bench::BenchSetup;
+use pcie_bench_repro::par::Pool;
+
+#[test]
+fn parallel_suite_bit_identical_nfp6000_hsw() {
+    let setup = BenchSetup::nfp6000_hsw();
+    let cfg = SuiteConfig::quick();
+    let seq = run_suite_on(&setup, &cfg, &Pool::sequential());
+    assert_eq!(seq.len(), cfg.test_count());
+    for threads in [2, 4] {
+        let par = run_suite_on(&setup, &cfg, &Pool::with_threads(threads));
+        assert_eq!(seq, par, "threads={threads} must be bit-identical");
+    }
+}
+
+#[test]
+fn parallel_suite_bit_identical_netfpga_hsw() {
+    let setup = BenchSetup::netfpga_hsw();
+    let cfg = SuiteConfig::quick();
+    let seq = run_suite_on(&setup, &cfg, &Pool::sequential());
+    let par = run_suite_on(&setup, &cfg, &Pool::with_threads(4));
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn env_threaded_run_suite_matches_sequential() {
+    // `run_suite` (the env-driven entry point) with
+    // PCIE_BENCH_THREADS=4 against the explicit sequential pool.
+    // This is the only test in this binary that touches the env var.
+    let setup = BenchSetup::netfpga_hsw();
+    let mut cfg = SuiteConfig::quick();
+    cfg.n_lat = 60;
+    cfg.n_bw = 400;
+    let seq = run_suite_on(&setup, &cfg, &Pool::sequential());
+    std::env::set_var("PCIE_BENCH_THREADS", "4");
+    let par = run_suite(&setup, &cfg);
+    std::env::remove_var("PCIE_BENCH_THREADS");
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn grid_order_is_job_order() {
+    // The job list *is* the output order: entry i must describe the
+    // same (bench, geometry) as job i, sequential or parallel.
+    let setup = BenchSetup::netfpga_hsw();
+    let mut cfg = SuiteConfig::quick();
+    cfg.n_lat = 60;
+    cfg.n_bw = 400;
+    let jobs = cfg.jobs();
+    let entries = run_suite_on(&setup, &cfg, &Pool::with_threads(4));
+    assert_eq!(jobs.len(), entries.len());
+    for (job, entry) in jobs.iter().zip(&entries) {
+        assert_eq!(job.params.transfer, entry.transfer);
+        assert_eq!(job.params.window, entry.window);
+        assert_eq!(job.params.cache, entry.cache);
+        assert_eq!(job.params.offset, entry.offset);
+        assert_eq!(job.params.pattern, entry.pattern);
+    }
+}
+
+#[test]
+fn timed_run_reports_stats() {
+    let setup = BenchSetup::netfpga_hsw();
+    let mut cfg = SuiteConfig::quick();
+    cfg.n_lat = 60;
+    cfg.n_bw = 400;
+    let pool = Pool::with_threads(2);
+    let (entries, stats) = run_suite_timed(&setup, &cfg, &pool);
+    assert_eq!(stats.jobs, entries.len());
+    assert_eq!(stats.threads, 2);
+    assert!(stats.wall.as_secs_f64() > 0.0);
+    assert!(
+        stats.sequential_equivalent() >= stats.wall / 8,
+        "busy time should be commensurate with wall time"
+    );
+}

@@ -1,0 +1,104 @@
+//! Telemetry under parallelism: every test run owns its own
+//! `Platform`, and therefore its own counter tree — so per-test
+//! snapshots taken while tests execute concurrently on the worker
+//! pool must still reconcile stage sums against end-to-end latency,
+//! and must match what a sequential run records. If telemetry state
+//! ever became shared between workers, cross-talk would break both
+//! properties immediately.
+
+use pcie_bench_repro::bench::{
+    run_latency, BenchParams, BenchSetup, CacheState, LatOp, Pattern,
+};
+use pcie_bench_repro::device::DmaPath;
+use pcie_bench_repro::host::presets::NumaPlacement;
+use pcie_bench_repro::par::Pool;
+
+fn grid() -> Vec<(BenchSetup, u32, LatOp)> {
+    let mut g = Vec::new();
+    for setup in [
+        BenchSetup::nfp6000_hsw().with_telemetry(),
+        BenchSetup::netfpga_hsw().with_telemetry(),
+    ] {
+        for sz in [64u32, 256, 512] {
+            for op in [LatOp::Rd, LatOp::WrRd] {
+                g.push((setup.clone(), sz, op));
+            }
+        }
+    }
+    g
+}
+
+fn params(transfer: u32, cache: CacheState) -> BenchParams {
+    BenchParams {
+        window: 64 * 1024,
+        transfer,
+        offset: 0,
+        pattern: Pattern::Random,
+        cache,
+        placement: NumaPlacement::Local,
+    }
+}
+
+#[test]
+fn stage_sums_reconcile_on_the_pool() {
+    const N: usize = 250;
+    let jobs = grid();
+    let results = Pool::with_threads(4).map(&jobs, |(setup, sz, op)| {
+        run_latency(
+            setup,
+            &params(*sz, CacheState::HostWarm),
+            *op,
+            N,
+            DmaPath::DmaEngine,
+        )
+    });
+    assert_eq!(results.len(), jobs.len());
+    for ((_, sz, op), r) in jobs.iter().zip(&results) {
+        let snap = r.telemetry.as_ref().expect("telemetry enabled");
+        let st = snap.stages().expect("stage report");
+        // Per-platform counters: exactly this test's transactions,
+        // nothing leaked in from concurrently running tests.
+        assert_eq!(st.transactions, N as u64, "{op:?}/{sz}");
+        // Stage attribution reconciles with the end-to-end histogram.
+        assert!(
+            (st.stage_total_ns() - st.end_to_end_total_ns).abs()
+                < 1e-6 * st.end_to_end_total_ns,
+            "{op:?}/{sz}: stage sum {} vs end-to-end {}",
+            st.stage_total_ns(),
+            st.end_to_end_total_ns
+        );
+    }
+}
+
+#[test]
+fn parallel_snapshots_match_sequential_snapshots() {
+    const N: usize = 200;
+    let jobs = grid();
+    let run = |pool: &Pool| {
+        pool.map(&jobs, |(setup, sz, op)| {
+            run_latency(
+                setup,
+                &params(*sz, CacheState::HostWarm),
+                *op,
+                N,
+                DmaPath::DmaEngine,
+            )
+        })
+    };
+    let seq = run(&Pool::sequential());
+    let par = run(&Pool::with_threads(4));
+    for (a, b) in seq.iter().zip(&par) {
+        // The measurement itself is bit-identical...
+        assert_eq!(a.samples_ns, b.samples_ns);
+        // ...and so is everything telemetry derived from it.
+        let (sa, sb) = (a.telemetry.as_ref().unwrap(), b.telemetry.as_ref().unwrap());
+        assert_eq!(sa.label, sb.label);
+        let (ra, rb) = (sa.stages().unwrap(), sb.stages().unwrap());
+        assert_eq!(ra.transactions, rb.transactions);
+        assert_eq!(ra.end_to_end_total_ns, rb.end_to_end_total_ns);
+        assert_eq!(ra.stage_total_ns(), rb.stage_total_ns());
+        for (x, y) in ra.rows.iter().zip(&rb.rows) {
+            assert_eq!(x, y, "per-stage rows must match exactly");
+        }
+    }
+}
