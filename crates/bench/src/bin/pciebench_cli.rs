@@ -16,6 +16,12 @@
 //!   --path <p>           dma (default) | cmdif
 //!   --count <n>          transactions (default: 2000 latency / 20000 bandwidth)
 //!   --seed <n>           RNG seed
+//!   --ber <rate>         per-bit error rate injected on both link
+//!                        directions (default 0 = fault-free; also
+//!                        settable via PCIE_BENCH_BER, the flag wins).
+//!                        Nonzero rates exercise the DLL replay
+//!                        protocol: NAKs, retransmissions, and the
+//!                        replay latency stage
 //!   --telemetry          record per-stage latency attribution and
 //!                        per-component counters; prints the stage
 //!                        breakdown and (with --out) writes the
@@ -41,7 +47,7 @@ fn usage() -> ! {
 const HELP: &str = "usage: pciebench_cli <LAT_RD|LAT_WRRD|BW_RD|BW_WR|BW_RDWR> \
 [--system S] [--size N] [--window N[k|m]] [--offset N] [--pattern random|sequential] \
 [--cache warm|cold|device-warm] [--numa local|remote] [--iommu off|4k|superpages] \
-[--path dma|cmdif] [--count N] [--seed N] [--telemetry] [--out DIR]";
+[--path dma|cmdif] [--count N] [--seed N] [--ber RATE] [--telemetry] [--out DIR]";
 
 fn parse_bytes(s: &str) -> Option<u64> {
     let lower = s.to_ascii_lowercase();
@@ -83,6 +89,11 @@ fn main() {
     let mut seed: Option<u64> = None;
     let mut telemetry = false;
     let mut out: Option<String> = None;
+    // PCIE_BENCH_BER seeds the default; an explicit --ber wins.
+    let mut ber: f64 = std::env::var("PCIE_BENCH_BER")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
 
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
@@ -131,6 +142,7 @@ fn main() {
             }
             "--count" => count = Some(val().parse().unwrap_or_else(|_| usage())),
             "--seed" => seed = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--ber" => ber = val().parse().unwrap_or_else(|_| usage()),
             "--telemetry" => telemetry = true,
             "--out" => out = Some(val().to_string()),
             _ => usage(),
@@ -152,6 +164,13 @@ fn main() {
     }
     if telemetry {
         setup = setup.with_telemetry();
+    }
+    if !(0.0..=1.0).contains(&ber) {
+        eprintln!("invalid parameters: --ber must be in [0, 1]");
+        std::process::exit(2);
+    }
+    if ber > 0.0 {
+        setup = setup.with_ber(ber);
     }
     let params = BenchParams {
         window,
@@ -205,6 +224,7 @@ fn main() {
             );
             if let Some(snap) = &r.telemetry {
                 pcie_bench_harness::print_stage_breakdown(snap);
+                pcie_bench_harness::print_fault_summary(snap);
             }
             if let Some(dir) = out {
                 let stem = format!("{}_{}B", op.name().to_ascii_lowercase(), size);
@@ -235,6 +255,7 @@ fn main() {
             );
             if let Some(snap) = &r.telemetry {
                 pcie_bench_harness::print_stage_breakdown(snap);
+                pcie_bench_harness::print_fault_summary(snap);
                 if let Some(dir) = out {
                     let stem = format!("{}_{}B", op.name().to_ascii_lowercase(), size);
                     pcie_bench_harness::export_snapshot(std::path::Path::new(&dir), &stem, snap);

@@ -106,6 +106,22 @@ pub fn print_stage_breakdown(snap: &Snapshot) {
     );
 }
 
+/// Prints the fault/replay counter groups of a snapshot
+/// (`link.replay.*`, `device.errors`) as commented lines. Silent when
+/// the snapshot carries none — i.e. on every fault-free run.
+pub fn print_fault_summary(snap: &Snapshot) {
+    for comp in ["link.replay.upstream", "link.replay.downstream", "device.errors"] {
+        if let Some(g) = snap.group(comp) {
+            let cells: Vec<String> = g
+                .counters()
+                .iter()
+                .map(|(name, v)| format!("{name}={v}"))
+                .collect();
+            println!("# {comp}: {}", cells.join(" "));
+        }
+    }
+}
+
 /// Writes a snapshot as `<stem>.telemetry.json` and
 /// `<stem>.telemetry.csv` under `dir`, reporting the paths on stdout.
 pub fn export_snapshot(dir: &std::path::Path, stem: &str, snap: &Snapshot) {

@@ -51,3 +51,8 @@ pub use pcie_par::{Pool, PoolStats};
 /// Re-exported from `pcie-telemetry`: the snapshot type carried by
 /// [`LatencyResult::telemetry`] / [`BwResult::telemetry`].
 pub use pcie_telemetry::{Snapshot, Stage, StageReport};
+
+/// Re-exported from `pcie-fault`: the fault-injection plan carried by
+/// [`BenchSetup::fault`] (see [`BenchSetup::with_faults`] /
+/// [`BenchSetup::with_ber`]).
+pub use pcie_fault::{DirFaults, FaultPlan};

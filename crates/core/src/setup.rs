@@ -2,6 +2,7 @@
 
 use crate::params::{BenchParams, CacheState};
 use pcie_device::{DeviceParams, Platform};
+use pcie_fault::FaultPlan;
 use pcie_host::buffer::BufferAllocator;
 use pcie_host::presets::{HostPreset, NumaPlacement};
 use pcie_host::{HostBuffer, HostSystem, Iommu};
@@ -38,6 +39,12 @@ pub struct BenchSetup {
     /// (`pcie-telemetry`). Off by default: disabled telemetry costs
     /// one untaken branch per DMA.
     pub telemetry: bool,
+    /// Fault-injection plan applied to built platforms. The default
+    /// [`FaultPlan::none`] installs nothing, so fault-free runs are
+    /// bit-identical to builds without the subsystem (pinned by
+    /// `tests/fault_free.rs`). Fault streams derive from `seed`, so
+    /// faulty runs are equally reproducible and parallel-safe.
+    pub fault: FaultPlan,
 }
 
 impl BenchSetup {
@@ -51,6 +58,7 @@ impl BenchSetup {
             iommu: IommuMode::Off,
             seed: 0x9e3779b9,
             telemetry: false,
+            fault: FaultPlan::none(),
         }
     }
 
@@ -113,6 +121,20 @@ impl BenchSetup {
         self
     }
 
+    /// With a fault-injection plan. Panics on an invalid plan, so a
+    /// bad BER surfaces at configuration time, not mid-sweep.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        plan.validate().expect("invalid fault plan");
+        self.fault = plan;
+        self
+    }
+
+    /// With a symmetric bit-error rate on both link directions
+    /// (`0.0` leaves the setup fault-free).
+    pub fn with_ber(self, ber: f64) -> Self {
+        self.with_faults(FaultPlan::symmetric_ber(ber))
+    }
+
     /// Instantiates the platform and host buffer for `params`,
     /// applying NUMA placement, IOMMU mode and cache warming.
     pub fn build(&self, params: &BenchParams) -> (Platform, HostBuffer) {
@@ -137,6 +159,11 @@ impl BenchSetup {
             IommuMode::SuperPages => Some(Iommu::intel_superpages()),
         });
         let mut platform = Platform::new(self.device, host, self.link, self.timing);
+        // Install faults before cache warming so DeviceWarm traffic is
+        // subject to the same error processes as the measurement.
+        if self.fault.is_active() {
+            platform.set_fault_plan(&self.fault, self.seed);
+        }
         if self.telemetry {
             platform.enable_telemetry();
         }
@@ -197,6 +224,28 @@ mod tests {
         };
         let (platform, _) = setup.build(&p);
         assert!(platform.host.cache_stats(0).write_allocs > 0);
+    }
+
+    #[test]
+    fn fault_plan_installs_only_when_active() {
+        let setup = BenchSetup::netfpga_hsw().with_ber(0.0);
+        assert!(!setup.fault.is_active());
+        let (platform, _) = setup.build(&BenchParams::baseline(64));
+        assert!(!platform.link().faults_active());
+
+        let setup = BenchSetup::netfpga_hsw().with_ber(1e-6);
+        let (platform, _) = setup.build(&BenchParams::baseline(64));
+        assert!(platform.link().faults_active());
+        assert_eq!(
+            platform.link().fault_plan().unwrap().upstream.ber,
+            1e-6
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn bad_ber_rejected_at_setup() {
+        let _ = BenchSetup::netfpga_hsw().with_ber(2.0);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 use crate::config_space::ConfigSpace;
 use crate::gate::SlotGate;
 use crate::params::DeviceParams;
+use pcie_fault::{DeviceErrorCounters, FaultPlan};
 use pcie_host::{HostBuffer, HostSystem};
 use pcie_link::{Direction, Link, LinkTiming};
 use pcie_model::config::LinkConfig;
@@ -90,6 +91,16 @@ pub struct DeviceEngine {
     dma_reads: u64,
     dma_writes: u64,
     dma_write_reads: u64,
+    /// AER-style error counters; only exported as a telemetry group
+    /// when a fault plan is installed.
+    errors: DeviceErrorCounters,
+    /// How long the engine waits for a missing completion before
+    /// re-issuing the read (copied from the installed fault plan).
+    completion_timeout: SimTime,
+    /// Re-issue budget for timed-out / poisoned reads before abort.
+    max_read_retries: u32,
+    /// Whether a fault plan is installed (gates error-path telemetry).
+    faults_active: bool,
 }
 
 impl DeviceEngine {
@@ -111,7 +122,27 @@ impl DeviceEngine {
             dma_reads: 0,
             dma_writes: 0,
             dma_write_reads: 0,
+            errors: DeviceErrorCounters::default(),
+            completion_timeout: FaultPlan::none().completion_timeout,
+            max_read_retries: FaultPlan::none().max_read_retries,
+            faults_active: false,
         }
+    }
+
+    /// Installs a fault plan on this engine's link and copies the
+    /// device-side recovery parameters (completion timeout, retry
+    /// budget). `FaultPlan::none()` removes the injector entirely and
+    /// restores the exact fault-free path.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan, seed: u64) {
+        self.link.set_fault_plan(*plan, seed);
+        self.completion_timeout = plan.completion_timeout;
+        self.max_read_retries = plan.max_read_retries;
+        self.faults_active = plan.is_active();
+    }
+
+    /// The engine's AER-style error counters.
+    pub fn device_errors(&self) -> &DeviceErrorCounters {
+        &self.errors
     }
 
     /// Turns on per-stage latency attribution for subsequent DMAs.
@@ -227,9 +258,27 @@ impl DeviceEngine {
         let mut absorbed_last = t0;
         for chunk in split::split_write(addr, len, cfg.mps) {
             let p_at = self.posted_credits.acquire(sent_last.max(t0));
-            let arrival = self
+            let out = self
                 .link
-                .send_tlp(Direction::Upstream, TlpType::MWr64, chunk.len, p_at);
+                .send_tlp_ext(Direction::Upstream, TlpType::MWr64, chunk.len, p_at);
+            let arrival = out.arrival;
+            if out.dropped || out.poisoned {
+                // Lost above the DLL, or delivered poisoned and
+                // discarded by the RC: posted writes have no
+                // completion, so the device never learns — the data is
+                // silently gone and only the AER counters record it.
+                // The credit returns after header processing.
+                if out.dropped {
+                    self.errors.dropped_writes += 1;
+                } else {
+                    self.errors.poisoned_writes += 1;
+                }
+                let freed = arrival + SimTime::from_ns(20);
+                self.posted_credits.release_at(freed);
+                absorbed_last = absorbed_last.max(freed);
+                sent_last = arrival - prop;
+                continue;
+            }
             let absorbed =
                 host.process_write_tlp_in(arrival, self.domain, buf, chunk.addr, chunk.len);
             // Posted credits return once the RC absorbs the write.
@@ -297,44 +346,147 @@ impl DeviceEngine {
         let addr = buf.addr(offset);
         let cfg = *self.link.config();
         let mut data_done = t0;
-        // Boundary timestamps of the critical chunk (np_at,
-        // req_arrival, ready); only tracked when telemetry is on.
-        let mut critical: Option<(SimTime, SimTime, SimTime)> = None;
+        // Boundary timestamps of the critical chunk (first_np,
+        // np_final, req_arrival, ready) plus its DLL recovery time on
+        // the request and completion wires; only tracked when
+        // telemetry is on. Fault-free, first_np == np_final and the
+        // fault terms are zero, so attribution is unchanged.
+        let mut critical: Option<(SimTime, SimTime, SimTime, SimTime, SimTime, SimTime)> = None;
+        let mut aborted = false;
         for chunk in split::split_read_requests(addr, len, cfg.mrrs) {
             let tag_at = self.read_tags.acquire(t0);
-            let np_at = self.nonposted_credits.acquire(tag_at);
-            let req_arrival = self
-                .link
-                .send_tlp(Direction::Upstream, TlpType::MRd64, 0, np_at);
-            self.nonposted_credits
-                .release_at(req_arrival + SimTime::from_ns(5));
-            let ready =
-                host.process_read_tlp_in(req_arrival, self.domain, buf, chunk.addr, chunk.len);
-            let mut last_arrival = ready;
-            for cpl in split::split_completions(chunk.addr, chunk.len, cfg.mps, cfg.rcb) {
-                last_arrival =
-                    self.link
-                        .send_tlp(Direction::Downstream, TlpType::CplD, cpl.len, ready);
+            let mut attempt_start = tag_at;
+            let mut first_np: Option<SimTime> = None;
+            let mut retries = 0u32;
+            // Ok: successful chunk (np_final, req_arrival, ready,
+            // last_arrival, req_fault, cpl_fault). Err: aborted at the
+            // given instant after exhausting the retry budget.
+            let outcome = loop {
+                let np_at = self.nonposted_credits.acquire(attempt_start);
+                first_np.get_or_insert(np_at);
+                let req = self
+                    .link
+                    .send_tlp_ext(Direction::Upstream, TlpType::MRd64, 0, np_at);
+                self.nonposted_credits
+                    .release_at(req.arrival + SimTime::from_ns(5));
+                if req.dropped || req.poisoned {
+                    // The request never produces a completion (a
+                    // poisoned request is discarded by the RC): the
+                    // engine's completion timer, armed at issue,
+                    // expires and the read is re-issued.
+                    self.errors.completion_timeouts += 1;
+                    let resume = np_at + self.completion_timeout;
+                    if retries >= self.max_read_retries {
+                        self.errors.read_aborts += 1;
+                        break Err(resume);
+                    }
+                    retries += 1;
+                    self.errors.read_retries += 1;
+                    attempt_start = resume;
+                    continue;
+                }
+                let ready =
+                    host.process_read_tlp_in(req.arrival, self.domain, buf, chunk.addr, chunk.len);
+                let mut last_arrival = ready;
+                let mut cpl_fault = SimTime::ZERO;
+                let mut cpl_dropped = false;
+                let mut cpl_poisoned = false;
+                for cpl in split::split_completions(chunk.addr, chunk.len, cfg.mps, cfg.rcb) {
+                    let out =
+                        self.link
+                            .send_tlp_ext(Direction::Downstream, TlpType::CplD, cpl.len, ready);
+                    last_arrival = out.arrival;
+                    cpl_fault += out.fault_delay;
+                    cpl_dropped |= out.dropped;
+                    cpl_poisoned |= out.poisoned;
+                }
+                if cpl_dropped {
+                    // A lost completion is indistinguishable from a
+                    // lost request: wait out the completion timer.
+                    self.errors.completion_timeouts += 1;
+                    let resume = np_at + self.completion_timeout;
+                    if retries >= self.max_read_retries {
+                        self.errors.read_aborts += 1;
+                        break Err(resume);
+                    }
+                    retries += 1;
+                    self.errors.read_retries += 1;
+                    attempt_start = resume;
+                    continue;
+                }
+                if cpl_poisoned {
+                    // Poison (EP bit) is detected on arrival; the data
+                    // is discarded and the read re-issued immediately.
+                    self.errors.poisoned_completions += 1;
+                    if retries >= self.max_read_retries {
+                        self.errors.read_aborts += 1;
+                        break Err(last_arrival);
+                    }
+                    retries += 1;
+                    self.errors.read_retries += 1;
+                    attempt_start = last_arrival;
+                    continue;
+                }
+                break Ok((np_at, req.arrival, ready, last_arrival, req.fault_delay, cpl_fault));
+            };
+            match outcome {
+                Ok((np_final, req_arrival, ready, last_arrival, req_fault, cpl_fault)) => {
+                    self.read_tags.release_at(last_arrival);
+                    if self.telem.is_some() && last_arrival >= data_done {
+                        critical = Some((
+                            first_np.expect("at least one attempt"),
+                            np_final,
+                            req_arrival,
+                            ready,
+                            req_fault,
+                            cpl_fault,
+                        ));
+                    }
+                    data_done = data_done.max(last_arrival);
+                }
+                Err(resume) => {
+                    // The chunk is abandoned; the tag frees when the
+                    // abort is declared. No data arrives, so the DMA
+                    // completes in error at that instant.
+                    self.read_tags.release_at(resume);
+                    data_done = data_done.max(resume);
+                    aborted = true;
+                }
             }
-            self.read_tags.release_at(last_arrival);
-            if self.telem.is_some() && last_arrival >= data_done {
-                critical = Some((np_at, req_arrival, ready));
-            }
-            data_done = data_done.max(last_arrival);
         }
         let internal = match path {
             DmaPath::DmaEngine => self.dev.internal_copy(len),
             DmaPath::CommandIf => SimTime::ZERO,
         };
         let done = data_done + internal + self.dev.dma_complete_overhead;
-        if let (Some(stats), Some((np_at, req_arrival, ready))) = (self.telem.as_deref_mut(), critical)
+        if aborted {
+            // An aborted DMA has no critical data chunk; its stage
+            // attribution would be meaningless, so it is not recorded.
+            return done;
+        }
+        if let (Some(stats), Some((first_np, np_final, req_arrival, ready, req_fault, cpl_fault))) =
+            (self.telem.as_deref_mut(), critical)
         {
+            // DLL retransmissions and completion-timeout waits are
+            // attributed to the Replay stage; the wire stages keep
+            // their clean serialisation + propagation time, so the
+            // seven stages still telescope to `done - issued`.
+            let replay_ns = (np_final - first_np).as_ns_f64()
+                + req_fault.as_ns_f64()
+                + cpl_fault.as_ns_f64();
             let mut s = StageSample::default();
             s.set(Stage::Issue, (t0 - issued).as_ns_f64())
-                .set(Stage::TagAlloc, (np_at - t0).as_ns_f64())
-                .set(Stage::RequestWire, (req_arrival - np_at).as_ns_f64())
+                .set(Stage::TagAlloc, (first_np - t0).as_ns_f64())
+                .set(
+                    Stage::RequestWire,
+                    (req_arrival - np_final).as_ns_f64() - req_fault.as_ns_f64(),
+                )
                 .set(Stage::Host, (ready - req_arrival).as_ns_f64())
-                .set(Stage::CompletionWire, (data_done - ready).as_ns_f64())
+                .set(
+                    Stage::CompletionWire,
+                    (data_done - ready).as_ns_f64() - cpl_fault.as_ns_f64(),
+                )
+                .set(Stage::Replay, replay_ns)
                 .set(Stage::DeviceCompletion, (done - data_done).as_ns_f64());
             stats.record(&s);
         }
@@ -462,7 +614,23 @@ impl DeviceEngine {
                 .push(s, gate.stalls())
                 .push(w, gate.total_wait().as_ns_f64() as u64);
         }
-        vec![engine, gates]
+        let mut groups = vec![engine, gates];
+        if self.faults_active {
+            // Only exported under an installed fault plan so that
+            // fault-free snapshots stay byte-identical to builds
+            // without the subsystem.
+            let e = &self.errors;
+            let mut errors = CounterGroup::new("device.errors");
+            errors
+                .push("completion_timeouts", e.completion_timeouts)
+                .push("poisoned_completions", e.poisoned_completions)
+                .push("read_retries", e.read_retries)
+                .push("read_aborts", e.read_aborts)
+                .push("dropped_writes", e.dropped_writes)
+                .push("poisoned_writes", e.poisoned_writes);
+            groups.push(errors);
+        }
+        groups
     }
 }
 
@@ -495,6 +663,16 @@ impl Platform {
     /// The link (wire counters, utilisation).
     pub fn link(&self) -> &Link {
         self.engine.link()
+    }
+
+    /// Installs a fault plan (see [`DeviceEngine::set_fault_plan`]).
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan, seed: u64) {
+        self.engine.set_fault_plan(plan, seed);
+    }
+
+    /// The device's AER-style error counters.
+    pub fn device_errors(&self) -> &DeviceErrorCounters {
+        self.engine.device_errors()
     }
 
     /// Quantises a duration to the device's timestamp counter.
@@ -607,6 +785,11 @@ impl Platform {
         let mut snap = Snapshot::new(label);
         snap.add_group(self.engine.link().telemetry_group(Direction::Upstream));
         snap.add_group(self.engine.link().telemetry_group(Direction::Downstream));
+        for dir in [Direction::Upstream, Direction::Downstream] {
+            if let Some(g) = self.engine.link().replay_telemetry_group(dir) {
+                snap.add_group(g);
+            }
+        }
         for g in self.host.telemetry_groups() {
             snap.add_group(g);
         }
@@ -952,6 +1135,191 @@ mod tests {
         assert_eq!(st.transactions, 1, "only the read is stage-attributed");
         let json = snap.to_json();
         assert!(json.contains("\"host.cache.node0\""), "{json}");
+    }
+
+    #[test]
+    fn dropped_request_costs_a_completion_timeout() {
+        use pcie_fault::{DirFaults, FaultPlan};
+        let (mut p, buf) = netfpga_platform();
+        p.host.host_warm(&buf, 0, 8 * 1024);
+        let clean = p
+            .dma_read(SimTime::ZERO, &buf, 0, 64, DmaPath::DmaEngine)
+            .latency();
+
+        let (mut pf, buff) = netfpga_platform();
+        pf.host.host_warm(&buff, 0, 8 * 1024);
+        let plan = FaultPlan {
+            upstream: DirFaults {
+                drop_nth: Some(1),
+                ..DirFaults::none()
+            },
+            ..FaultPlan::none()
+        };
+        pf.set_fault_plan(&plan, 0);
+        let faulty = pf
+            .dma_read(SimTime::ZERO, &buff, 0, 64, DmaPath::DmaEngine)
+            .latency();
+        // Retry succeeds, but only after the 10µs completion timer.
+        let extra = faulty - clean;
+        assert!(
+            extra >= plan.completion_timeout,
+            "timeout must dominate: {extra}"
+        );
+        let e = pf.device_errors();
+        assert_eq!(e.completion_timeouts, 1);
+        assert_eq!(e.read_retries, 1);
+        assert_eq!(e.read_aborts, 0);
+        // The next read is clean again (targeted fault hit once).
+        let second = pf
+            .dma_read(SimTime::from_ms(1), &buff, 0, 64, DmaPath::DmaEngine)
+            .latency();
+        assert!(second < clean + SimTime::from_ns(50), "second read clean");
+    }
+
+    #[test]
+    fn poisoned_completion_retries_without_timeout() {
+        use pcie_fault::{DirFaults, FaultPlan};
+        let (mut p, buf) = netfpga_platform();
+        p.host.host_warm(&buf, 0, 8 * 1024);
+        let plan = FaultPlan {
+            downstream: DirFaults {
+                poison_nth: Some(1),
+                ..DirFaults::none()
+            },
+            ..FaultPlan::none()
+        };
+        p.set_fault_plan(&plan, 0);
+        let lat = p
+            .dma_read(SimTime::ZERO, &buf, 0, 64, DmaPath::DmaEngine)
+            .latency();
+        let e = p.device_errors();
+        assert_eq!(e.poisoned_completions, 1);
+        assert_eq!(e.read_retries, 1);
+        assert_eq!(e.completion_timeouts, 0);
+        // Immediate re-issue: well under a completion timeout, but at
+        // least one extra round trip.
+        assert!(lat < plan.completion_timeout);
+        assert!(lat > SimTime::from_ns(600), "two round trips: {lat}");
+    }
+
+    #[test]
+    fn persistent_drop_aborts_after_retry_budget() {
+        use pcie_fault::{DirFaults, FaultPlan};
+        let (mut p, buf) = netfpga_platform();
+        p.host.host_warm(&buf, 0, 8 * 1024);
+        let plan = FaultPlan {
+            upstream: DirFaults {
+                ber: 0.0,
+                // Every request dropped: drop_nth can't express
+                // "always", so poison at rate 1.0 (requests are
+                // discarded by the RC, same recovery path).
+                poison_rate: 1.0,
+                ..DirFaults::none()
+            },
+            max_read_retries: 2,
+            ..FaultPlan::none()
+        };
+        p.set_fault_plan(&plan, 0);
+        let r = p.dma_read(SimTime::ZERO, &buf, 0, 64, DmaPath::DmaEngine);
+        let e = p.device_errors();
+        assert_eq!(e.read_aborts, 1);
+        assert_eq!(e.read_retries, 2, "budget consumed before abort");
+        assert_eq!(e.completion_timeouts, 3, "initial try + 2 retries");
+        // 3 attempts × 10µs timer.
+        assert!(r.latency() >= plan.completion_timeout.times(3));
+    }
+
+    #[test]
+    fn dropped_and_poisoned_writes_hit_aer_counters_not_host() {
+        use pcie_fault::{DirFaults, FaultPlan};
+        let (mut p, buf) = netfpga_platform();
+        let plan = FaultPlan {
+            upstream: DirFaults {
+                drop_nth: Some(1),
+                poison_nth: Some(2),
+                ..DirFaults::none()
+            },
+            ..FaultPlan::none()
+        };
+        p.set_fault_plan(&plan, 0);
+        p.dma_write(SimTime::ZERO, &buf, 0, 64, DmaPath::DmaEngine);
+        p.dma_write(SimTime::from_us(1), &buf, 0, 64, DmaPath::DmaEngine);
+        p.dma_write(SimTime::from_us(2), &buf, 0, 64, DmaPath::DmaEngine);
+        let e = p.device_errors();
+        assert_eq!(e.dropped_writes, 1);
+        assert_eq!(e.poisoned_writes, 1);
+        // Only the third write reached the memory system.
+        assert_eq!(p.host.cache_stats(0).write_allocs, 1);
+        let snap = p.telemetry_snapshot("faulty");
+        assert_eq!(
+            snap.group("device.errors").and_then(|g| g.get("dropped_writes")),
+            Some(1)
+        );
+        assert!(snap.group("link.replay.upstream").is_some());
+    }
+
+    #[test]
+    fn replay_stage_appears_under_faults_and_still_telescopes() {
+        use pcie_fault::FaultPlan;
+        let (mut p, buf) = netfpga_platform();
+        p.host.host_warm(&buf, 0, 8 * 1024);
+        p.set_fault_plan(&FaultPlan::symmetric_ber(2e-5), 5);
+        p.enable_telemetry();
+        let mut now = SimTime::ZERO;
+        let mut total_lat = 0.0;
+        let n = 400;
+        for _ in 0..n {
+            now += SimTime::from_us(20);
+            let r = p.dma_read(now, &buf, 0, 512, DmaPath::DmaEngine);
+            total_lat += r.latency().as_ns_f64();
+        }
+        let stats = p.stage_stats().unwrap();
+        assert_eq!(stats.transactions(), n, "no aborts at this BER");
+        // Stage sums must telescope exactly even with replays.
+        assert!(
+            (stats.grand_total_ns() - total_lat).abs() < 1e-6 * total_lat,
+            "stages {} vs end-to-end {}",
+            stats.grand_total_ns(),
+            total_lat
+        );
+        assert!(
+            stats.total_ns(Stage::Replay) > 0.0,
+            "BER 2e-5 over {n} × 512B reads must inject"
+        );
+        let fc = p.link().fault_counters(Direction::Upstream).unwrap().replays
+            + p.link()
+                .fault_counters(Direction::Downstream)
+                .unwrap()
+                .replays;
+        assert!(fc > 0);
+    }
+
+    #[test]
+    fn fault_free_plan_changes_nothing() {
+        use pcie_fault::FaultPlan;
+        let run = |install: bool| {
+            let (mut p, buf) = netfpga_platform();
+            p.host.host_warm(&buf, 0, 8 * 1024);
+            if install {
+                p.set_fault_plan(&FaultPlan::none(), 99);
+            }
+            p.enable_telemetry();
+            let mut out = Vec::new();
+            let mut now = SimTime::ZERO;
+            for i in 0..64 {
+                now += SimTime::from_us(10);
+                let len = [64u32, 256, 512][i % 3];
+                out.push(p.dma_read(now, &buf, 0, len, DmaPath::DmaEngine));
+                out.push(p.dma_write(now, &buf, 0, len, DmaPath::DmaEngine));
+            }
+            (out, p.telemetry_snapshot("x").to_json())
+        };
+        let (a, ja) = run(false);
+        let (b, jb) = run(true);
+        assert_eq!(a, b, "FaultPlan::none() must be bit-identical");
+        assert_eq!(ja, jb, "snapshots must be byte-identical");
+        assert!(!ja.contains("link.replay"), "no replay groups fault-free");
+        assert!(!ja.contains("device.errors"));
     }
 
     #[test]

@@ -1,11 +1,22 @@
 //! The timed full-duplex link.
 
 use crate::counters::WireCounters;
+use pcie_fault::{Decision, FaultCounters, FaultPlan, Injector};
 use pcie_model::config::LinkConfig;
 use pcie_model::mix::Direction;
 use pcie_sim::time::transfer_time;
 use pcie_sim::{SimTime, Timeline};
+use pcie_tlp::dllp::{seq_next, Dllp};
 use pcie_tlp::types::TlpType;
+use std::collections::VecDeque;
+
+/// Capacity of the DLL replay buffer, in TLPs. Real replay buffers are
+/// sized in bytes for a full ACK round trip of max-size TLPs; 64 TLPs
+/// is comfortably past that for our timing. If the buffer would
+/// overflow, the transmitter forces an immediate ACK (flushing it)
+/// before admitting the next TLP — with the default `ack_coalesce` of
+/// 2 this can never trigger on a fault-free run.
+const REPLAY_BUFFER_TLPS: usize = 64;
 
 /// Latency and DLLP-policy parameters of a link.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,6 +62,13 @@ struct DirState {
     /// *later* ACK block an *earlier* data TLP, which a real link —
     /// where DLLPs interleave at symbol granularity — never does.
     dllp_debt: u64,
+    /// Next 12-bit TLP sequence number to assign on this direction.
+    next_seq: u16,
+    /// TLPs sent on this direction not yet covered by an ACK, kept for
+    /// retransmission: `(seq, wire_bytes)`. Cleared when an ACK fires
+    /// on the opposite direction (a cumulative ACK covers everything
+    /// received so far).
+    replay_buf: VecDeque<(u16, u32)>,
 }
 
 impl DirState {
@@ -61,8 +79,33 @@ impl DirState {
             unacked: 0,
             since_fc: 0,
             dllp_debt: 0,
+            next_seq: 0,
+            replay_buf: VecDeque::new(),
         }
     }
+}
+
+/// The result of one TLP transmission, including any fault-injection
+/// consequences. Fault-free sends always return `fault_delay == 0`,
+/// `replays == 0`, `dropped == false`, `poisoned == false`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendOutcome {
+    /// When the TLP (its last successful transmission) has fully
+    /// arrived at the far end.
+    pub arrival: SimTime,
+    /// Extra wire/turnaround time spent on DLL recovery: NAK round
+    /// trips or replay-timer waits plus the retransmission
+    /// serialisations. Zero when the first attempt succeeded.
+    pub fault_delay: SimTime,
+    /// Number of retransmissions this TLP needed.
+    pub replays: u32,
+    /// The TLP was lost *above* the DLL (acknowledged at the link
+    /// layer, never delivered): the caller must not act on `arrival`
+    /// other than as the time the loss becomes observable.
+    pub dropped: bool,
+    /// The TLP arrived with the EP (poisoned) bit set; the receiver
+    /// must discard the payload.
+    pub poisoned: bool,
 }
 
 /// A full-duplex PCIe link carrying TLPs and auto-generated DLLPs.
@@ -77,6 +120,10 @@ pub struct Link {
     timing: LinkTiming,
     /// Index 0 = upstream, 1 = downstream.
     dirs: [DirState; 2],
+    /// Fault injector; `None` (the default) is the exact fault-free
+    /// fast path — no RNG is consulted and no extra state is touched
+    /// beyond sequence/replay bookkeeping, which has no timing effect.
+    faults: Option<Box<Injector>>,
 }
 
 fn di(dir: Direction) -> usize {
@@ -101,7 +148,46 @@ impl Link {
             config,
             timing,
             dirs: [DirState::new(), DirState::new()],
+            faults: None,
         }
+    }
+
+    /// Installs a fault plan, deriving the injection streams from
+    /// `seed`. An inactive plan (no fault processes) removes the
+    /// injector entirely, restoring the exact fault-free path — so
+    /// `FaultPlan::none()` is bit-identical to never calling this.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan, seed: u64) {
+        plan.validate().expect("invalid fault plan");
+        self.faults = if plan.is_active() {
+            Some(Box::new(Injector::new(plan, seed)))
+        } else {
+            None
+        };
+    }
+
+    /// Whether a fault injector is installed.
+    pub fn faults_active(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|i| i.plan())
+    }
+
+    /// Replay/fault counters for `dir` (only when faults are active).
+    pub fn fault_counters(&self, dir: Direction) -> Option<&FaultCounters> {
+        self.faults.as_ref().map(|i| i.counters(dir))
+    }
+
+    /// Next 12-bit sequence number that will be assigned on `dir`.
+    pub fn next_seq(&self, dir: Direction) -> u16 {
+        self.dirs[di(dir)].next_seq
+    }
+
+    /// Current replay-buffer occupancy (unacknowledged TLPs) on `dir`.
+    pub fn replay_occupancy(&self, dir: Direction) -> usize {
+        self.dirs[di(dir)].replay_buf.len()
     }
 
     /// The protocol configuration.
@@ -125,7 +211,8 @@ impl Link {
     /// fully arrived at the far end.
     ///
     /// Automatically accounts the ACK/FC DLLP load this TLP induces on
-    /// the opposite direction.
+    /// the opposite direction. Convenience wrapper around
+    /// [`Link::send_tlp_ext`] for callers that don't examine faults.
     pub fn send_tlp(
         &mut self,
         dir: Direction,
@@ -133,6 +220,30 @@ impl Link {
         payload_bytes: u32,
         now: SimTime,
     ) -> SimTime {
+        self.send_tlp_ext(dir, ty, payload_bytes, now).arrival
+    }
+
+    /// [`Link::send_tlp`] returning the full [`SendOutcome`],
+    /// including DLL retry costs and drop/poison verdicts from the
+    /// installed fault plan.
+    ///
+    /// The retry protocol: the TLP is assigned the direction's next
+    /// 12-bit sequence number and held in the replay buffer until a
+    /// cumulative ACK covers it. If the injector corrupts the LCRC of
+    /// a transmission attempt, the receiver NAKs (one NAK DLLP on the
+    /// opposite direction, retransmission after a NAK round trip of
+    /// 2 × propagation) — or, for timeout-detected corruption, the
+    /// transmitter's REPLAY_TIMER expires after
+    /// `plan.replay_timeout`. Every retransmission re-serialises the
+    /// full TLP through the direction's FIFO timeline, so replays cost
+    /// real wire time that competes with subsequent traffic.
+    pub fn send_tlp_ext(
+        &mut self,
+        dir: Direction,
+        ty: TlpType,
+        payload_bytes: u32,
+        now: SimTime,
+    ) -> SendOutcome {
         let cost = self
             .config
             .overheads
@@ -144,7 +255,13 @@ impl Link {
             self.timing.propagation,
         );
         let wire_bytes = cost.total() as u64;
+        let (decision, replay_timeout) = match self.faults.as_deref_mut() {
+            Some(inj) => (inj.decide(dir, wire_bytes * 8), inj.plan().replay_timeout),
+            None => (Decision::CLEAN, SimTime::ZERO),
+        };
         let d = &mut self.dirs[di(dir)];
+        let seq = d.next_seq;
+        d.next_seq = seq_next(seq);
         // Pay off any DLLP debt this direction has accrued: the DLLP
         // bytes occupy the wire ahead of (interleaved with) this TLP.
         let debt = std::mem::take(&mut d.dllp_debt);
@@ -157,31 +274,99 @@ impl Link {
         } else {
             0
         };
-        let arrival = res.end + propagation;
+        // Admit to the replay buffer; an overflowing buffer forces an
+        // immediate ACK below (never reached fault-free).
+        d.replay_buf.push_back((seq, wire_bytes as u32));
+        let force_ack = d.replay_buf.len() >= REPLAY_BUFFER_TLPS;
 
-        // Link-layer reactions (ACKs, credit updates) flow on the
-        // opposite direction; they accrue as debt there and serialise
-        // with that direction's next TLP.
+        // DLL retry: each corrupted attempt is retransmitted after a
+        // NAK round trip (or a full replay-timer period), through the
+        // same FIFO — so recovery consumes real wire capacity.
+        let first_end = res.end;
+        let mut end = first_end;
+        for _ in 0..decision.lcrc_failures {
+            let retry_start = if decision.timeout_detected {
+                end + replay_timeout
+            } else {
+                end + propagation + propagation
+            };
+            let rres = d.timeline.reserve(retry_start, transfer_time(wire_bytes, rate));
+            end = rres.end;
+            d.counters.tlp_bytes += wire_bytes;
+        }
+        let fault_delay = end - first_end;
+        let arrival = end + propagation;
+
+        // Link-layer reactions (ACKs, credit updates, NAKs for the
+        // corrupted attempts) flow on the opposite direction; they
+        // accrue as debt there and serialise with that direction's
+        // next TLP.
         let opp = di(opposite(dir));
         let o = &mut self.dirs[opp];
         o.unacked += 1;
         o.since_fc += 1;
         let mut dllps = 0u32;
-        if o.unacked >= ack_coalesce {
+        let mut acked = false;
+        if o.unacked >= ack_coalesce || force_ack {
             o.unacked = 0;
             dllps += 1;
+            acked = true;
         }
         if o.since_fc >= fc_interval {
             o.since_fc = 0;
             dllps += 2; // request-class + completion-class UpdateFC
         }
+        let naks = if decision.timeout_detected {
+            0
+        } else {
+            decision.lcrc_failures as u64
+        };
+        if naks > 0 {
+            let bytes = naks * Dllp::WIRE_BYTES as u64;
+            o.dllp_debt += bytes;
+            o.counters.dllps += naks;
+            o.counters.dllp_bytes += bytes;
+        }
         if dllps > 0 {
-            let bytes = dllps as u64 * pcie_tlp::dllp::Dllp::WIRE_BYTES as u64;
+            let bytes = dllps as u64 * Dllp::WIRE_BYTES as u64;
             o.dllp_debt += bytes;
             o.counters.dllps += dllps as u64;
             o.counters.dllp_bytes += bytes;
         }
-        arrival
+        if acked {
+            // A cumulative ACK covers every TLP received on `dir` so
+            // far; the transmitter retires its replay buffer.
+            self.dirs[di(dir)].replay_buf.clear();
+        }
+
+        if let Some(inj) = self.faults.as_deref_mut() {
+            if decision.lcrc_failures > 0 {
+                let c = inj.counters_mut(dir);
+                c.injected_errors += 1;
+                c.replays += decision.lcrc_failures as u64;
+                c.replay_bytes += decision.lcrc_failures as u64 * wire_bytes;
+                if decision.timeout_detected {
+                    c.timeout_replays += decision.lcrc_failures as u64;
+                }
+            }
+            if naks > 0 {
+                inj.counters_mut(opposite(dir)).naks += naks;
+            }
+            if decision.dropped {
+                inj.counters_mut(dir).dropped += 1;
+            }
+            if decision.poisoned {
+                inj.counters_mut(dir).poisoned += 1;
+            }
+        }
+
+        SendOutcome {
+            arrival,
+            fault_delay,
+            replays: decision.lcrc_failures,
+            dropped: decision.dropped,
+            poisoned: decision.poisoned,
+        }
     }
 
     /// Serialises a TLP *without* entering the direction's FIFO: its
@@ -253,10 +438,37 @@ impl Link {
         g
     }
 
-    /// Resets timelines and counters (benchmark reruns).
+    /// Replay/fault counters for `dir` as a telemetry group
+    /// (`link.replay.upstream` / `link.replay.downstream`). `None`
+    /// when no fault plan is installed, so fault-free telemetry
+    /// snapshots are byte-identical to builds without the subsystem.
+    pub fn replay_telemetry_group(&self, dir: Direction) -> Option<pcie_telemetry::CounterGroup> {
+        let inj = self.faults.as_ref()?;
+        let c = inj.counters(dir);
+        let name = match dir {
+            Direction::Upstream => "link.replay.upstream",
+            Direction::Downstream => "link.replay.downstream",
+        };
+        let mut g = pcie_telemetry::CounterGroup::new(name);
+        g.push("injected_errors", c.injected_errors)
+            .push("replays", c.replays)
+            .push("replay_bytes", c.replay_bytes)
+            .push("timeout_replays", c.timeout_replays)
+            .push("naks", c.naks)
+            .push("dropped", c.dropped)
+            .push("poisoned", c.poisoned);
+        Some(g)
+    }
+
+    /// Resets timelines and counters (benchmark reruns). The fault
+    /// injector re-derives its RNG streams from its seed, so a reset
+    /// link replays the identical fault sequence.
     pub fn reset(&mut self) {
         for d in &mut self.dirs {
             *d = DirState::new();
+        }
+        if let Some(inj) = self.faults.as_deref_mut() {
+            inj.reset();
         }
     }
 }
@@ -394,6 +606,166 @@ mod tests {
             t_after_debt > t_plain,
             "debt must lengthen serialisation: {t_after_debt} vs {t_plain}"
         );
+    }
+
+    #[test]
+    fn sequence_numbers_advance_and_wrap() {
+        let mut l = link();
+        assert_eq!(l.next_seq(Direction::Upstream), 0);
+        for _ in 0..4100 {
+            l.send_tlp(Direction::Upstream, TlpType::MWr64, 64, SimTime::ZERO);
+        }
+        // 4100 mod 4096 = 4: the 12-bit space wrapped.
+        assert_eq!(l.next_seq(Direction::Upstream), 4);
+        assert_eq!(l.next_seq(Direction::Downstream), 0);
+        // ack_coalesce = 2 bounds the replay buffer at 2.
+        assert!(l.replay_occupancy(Direction::Upstream) <= 2);
+    }
+
+    #[test]
+    fn inactive_plan_is_removed() {
+        let mut l = link();
+        l.set_fault_plan(pcie_fault::FaultPlan::none(), 1);
+        assert!(!l.faults_active());
+        assert!(l.fault_counters(Direction::Upstream).is_none());
+        assert!(l.replay_telemetry_group(Direction::Upstream).is_none());
+    }
+
+    #[test]
+    fn nak_replay_costs_wire_time_and_a_nak_dllp() {
+        use pcie_fault::{DirFaults, FaultPlan};
+        let mut clean = link();
+        let t_clean = clean.send_tlp(Direction::Upstream, TlpType::MWr64, 256, SimTime::ZERO);
+
+        let mut l = link();
+        // Force exactly one NAK-detected corruption on the first TLP.
+        let plan = FaultPlan {
+            upstream: DirFaults {
+                ber: 0.999_999,
+                timeout_fraction: 0.0,
+                ..DirFaults::none()
+            },
+            max_replays: 1,
+            ..FaultPlan::none()
+        };
+        l.set_fault_plan(plan, 7);
+        let out = l.send_tlp_ext(Direction::Upstream, TlpType::MWr64, 256, SimTime::ZERO);
+        assert_eq!(out.replays, 1);
+        assert!(!out.dropped && !out.poisoned);
+        // Replay = NAK round trip (2 × 150ns propagation) + one more
+        // 280-byte serialisation (~35.7ns).
+        let extra = out.arrival - t_clean;
+        assert!(
+            (extra.as_ns_f64() - (300.0 + 35.7)).abs() < 1.0,
+            "replay cost {extra}"
+        );
+        assert_eq!(out.fault_delay, extra);
+        // Retransmitted bytes are on the wire counters, once per try.
+        let up = l.counters(Direction::Upstream);
+        assert_eq!(up.tlps, 1, "a replay is not a new TLP");
+        assert_eq!(up.tlp_bytes, 2 * 280);
+        // One NAK DLLP accrued on the opposite direction.
+        let down = l.counters(Direction::Downstream);
+        assert_eq!(down.dllps, 1);
+        assert_eq!(down.dllp_bytes, 8);
+        let fc = l.fault_counters(Direction::Upstream).unwrap();
+        assert_eq!(fc.injected_errors, 1);
+        assert_eq!(fc.replays, 1);
+        assert_eq!(fc.replay_bytes, 280);
+        assert_eq!(fc.timeout_replays, 0);
+        assert_eq!(l.fault_counters(Direction::Downstream).unwrap().naks, 1);
+    }
+
+    #[test]
+    fn timeout_replay_waits_the_replay_timer_and_sends_no_nak() {
+        use pcie_fault::{DirFaults, FaultPlan};
+        let mut l = link();
+        let plan = FaultPlan {
+            upstream: DirFaults {
+                ber: 0.999_999,
+                timeout_fraction: 1.0,
+                ..DirFaults::none()
+            },
+            max_replays: 1,
+            ..FaultPlan::none()
+        };
+        l.set_fault_plan(plan, 7);
+        let out = l.send_tlp_ext(Direction::Upstream, TlpType::MWr64, 256, SimTime::ZERO);
+        assert_eq!(out.replays, 1);
+        // Replay-timer expiry: ≥ the 2µs replay_timeout.
+        assert!(out.fault_delay >= FaultPlan::none().replay_timeout);
+        assert_eq!(l.counters(Direction::Downstream).dllps, 0, "no NAK");
+        let fc = l.fault_counters(Direction::Upstream).unwrap();
+        assert_eq!(fc.timeout_replays, 1);
+        assert_eq!(l.fault_counters(Direction::Downstream).unwrap().naks, 0);
+    }
+
+    #[test]
+    fn targeted_drop_and_poison_are_flagged_not_timed() {
+        use pcie_fault::{DirFaults, FaultPlan};
+        let mut l = link();
+        let plan = FaultPlan {
+            downstream: DirFaults {
+                drop_nth: Some(1),
+                poison_nth: Some(2),
+                ..DirFaults::none()
+            },
+            ..FaultPlan::none()
+        };
+        l.set_fault_plan(plan, 3);
+        let mut clean = link();
+        let t_clean = clean.send_tlp(Direction::Downstream, TlpType::CplD, 64, SimTime::ZERO);
+        let a = l.send_tlp_ext(Direction::Downstream, TlpType::CplD, 64, SimTime::ZERO);
+        assert!(a.dropped && !a.poisoned);
+        assert_eq!(a.arrival, t_clean, "a drop above the DLL costs no wire time");
+        let b = l.send_tlp_ext(Direction::Downstream, TlpType::CplD, 64, SimTime::ZERO);
+        assert!(b.poisoned && !b.dropped);
+        let fc = l.fault_counters(Direction::Downstream).unwrap();
+        assert_eq!((fc.dropped, fc.poisoned), (1, 1));
+    }
+
+    #[test]
+    fn reset_replays_identical_fault_sequence() {
+        use pcie_fault::FaultPlan;
+        let mut l = link();
+        l.set_fault_plan(FaultPlan::symmetric_ber(1e-6), 42);
+        let first: Vec<SendOutcome> = (0..2000)
+            .map(|_| l.send_tlp_ext(Direction::Upstream, TlpType::MWr64, 256, SimTime::ZERO))
+            .collect();
+        l.reset();
+        let second: Vec<SendOutcome> = (0..2000)
+            .map(|_| l.send_tlp_ext(Direction::Upstream, TlpType::MWr64, 256, SimTime::ZERO))
+            .collect();
+        assert_eq!(first, second);
+        assert!(
+            first.iter().any(|o| o.replays > 0),
+            "1e-6 BER over 2000 × 2240-bit TLPs should inject"
+        );
+    }
+
+    #[test]
+    fn replay_telemetry_group_reconciles_with_wire_counters() {
+        use pcie_fault::FaultPlan;
+        let mut l = link();
+        l.set_fault_plan(FaultPlan::symmetric_ber(5e-6), 11);
+        for _ in 0..5000 {
+            l.send_tlp(Direction::Upstream, TlpType::MWr64, 256, SimTime::ZERO);
+        }
+        let fc = *l.fault_counters(Direction::Upstream).unwrap();
+        assert!(fc.injected_errors > 0);
+        // Wire bytes = clean bytes + retransmitted bytes.
+        assert_eq!(
+            l.counters(Direction::Upstream).tlp_bytes,
+            5000 * 280 + fc.replay_bytes
+        );
+        // NAK DLLPs ride the opposite direction on top of ACK/FC.
+        let naks = l.fault_counters(Direction::Downstream).unwrap().naks;
+        assert_eq!(fc.replays - fc.timeout_replays, naks);
+        let down = l.counters(Direction::Downstream);
+        assert_eq!(down.dllps, 2500 + 625 * 2 + naks);
+        let g = l.replay_telemetry_group(Direction::Upstream).unwrap();
+        assert_eq!(g.component, "link.replay.upstream");
+        assert_eq!(g.get("replay_bytes"), Some(fc.replay_bytes));
     }
 
     #[test]

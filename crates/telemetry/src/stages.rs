@@ -28,17 +28,23 @@ pub enum Stage {
     /// Completion TLP serialisation + propagation on the downstream
     /// wire (last completion of the critical chunk).
     CompletionWire,
+    /// Data-link-layer and device error recovery: TLP retransmissions
+    /// (NAK round trips, replay-timer expiries) plus device-level
+    /// completion-timeout waits and read re-issues. Exactly zero on a
+    /// fault-free run.
+    Replay,
     /// Device-internal completion handling after the last data beat.
     DeviceCompletion,
 }
 
 /// All stages in pipeline order.
-pub const STAGES: [Stage; 6] = [
+pub const STAGES: [Stage; 7] = [
     Stage::Issue,
     Stage::TagAlloc,
     Stage::RequestWire,
     Stage::Host,
     Stage::CompletionWire,
+    Stage::Replay,
     Stage::DeviceCompletion,
 ];
 
@@ -51,6 +57,7 @@ impl Stage {
             Stage::RequestWire => "request_wire",
             Stage::Host => "host",
             Stage::CompletionWire => "completion_wire",
+            Stage::Replay => "replay",
             Stage::DeviceCompletion => "device_completion",
         }
     }
@@ -63,7 +70,8 @@ impl Stage {
             Stage::RequestWire => 2,
             Stage::Host => 3,
             Stage::CompletionWire => 4,
-            Stage::DeviceCompletion => 5,
+            Stage::Replay => 5,
+            Stage::DeviceCompletion => 6,
         }
     }
 }
@@ -72,7 +80,7 @@ impl Stage {
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct StageSample {
     /// Duration of each stage, indexed per [`Stage::index`].
-    pub ns: [f64; 6],
+    pub ns: [f64; 7],
 }
 
 impl StageSample {
@@ -98,7 +106,7 @@ impl StageSample {
 #[derive(Debug, Clone)]
 pub struct StageStats {
     /// Per-stage accumulated nanoseconds, indexed per [`Stage::index`].
-    totals_ns: [f64; 6],
+    totals_ns: [f64; 7],
     /// Per-stage latency histograms.
     per_stage: Vec<LatencyHistogram>,
     /// End-to-end latency histogram.
@@ -124,8 +132,8 @@ impl StageStats {
     /// bucket geometry.
     pub fn new() -> Self {
         StageStats {
-            totals_ns: [0.0; 6],
-            per_stage: (0..6)
+            totals_ns: [0.0; 7],
+            per_stage: (0..7)
                 .map(|_| LatencyHistogram::new(BUCKET_WIDTH_NS, N_BUCKETS))
                 .collect(),
             end_to_end: LatencyHistogram::new(BUCKET_WIDTH_NS, N_BUCKETS),
@@ -241,6 +249,7 @@ mod tests {
                 "request_wire",
                 "host",
                 "completion_wire",
+                "replay",
                 "device_completion"
             ]
         );

@@ -123,6 +123,39 @@ pub fn data_credits_for(payload_bytes: u32) -> u16 {
     payload_bytes.div_ceil(16) as u16
 }
 
+/// The modulus of the 12-bit TLP sequence-number space carried by
+/// ACK/NAK DLLPs and the TLP sequence prefix (Eq. 1's 2 B field).
+pub const SEQ_MODULUS: u16 = 1 << 12;
+
+/// Masks a value into the 12-bit sequence space.
+#[inline]
+pub const fn seq_mask(seq: u16) -> u16 {
+    seq & (SEQ_MODULUS - 1)
+}
+
+/// The sequence number following `seq`, with 12-bit wraparound.
+#[inline]
+pub const fn seq_next(seq: u16) -> u16 {
+    seq_mask(seq.wrapping_add(1))
+}
+
+/// Distance from `from` forward to `to` in the 12-bit space.
+#[inline]
+pub const fn seq_distance(from: u16, to: u16) -> u16 {
+    seq_mask(to.wrapping_sub(from))
+}
+
+/// Whether `a` precedes `b` in modular order — i.e. `b` is within the
+/// forward half-window (2048) of `a`. This is the comparison a DLL
+/// receiver uses to tell a duplicate (replayed) TLP from a new one,
+/// and it stays correct across the 4095 → 0 wrap as long as fewer than
+/// half the space is in flight (the replay buffer bound guarantees it).
+#[inline]
+pub const fn seq_precedes(a: u16, b: u16) -> bool {
+    let d = seq_distance(a, b);
+    d != 0 && d < SEQ_MODULUS / 2
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +198,22 @@ mod tests {
         assert_eq!(data_credits_for(16), 1);
         assert_eq!(data_credits_for(17), 2);
         assert_eq!(data_credits_for(256), 16);
+    }
+
+    #[test]
+    fn sequence_wraparound() {
+        assert_eq!(seq_next(0), 1);
+        assert_eq!(seq_next(4094), 4095);
+        assert_eq!(seq_next(4095), 0, "12-bit wrap");
+        assert_eq!(seq_distance(4095, 0), 1);
+        assert_eq!(seq_distance(0, 4095), 4095);
+        assert!(seq_precedes(4095, 0));
+        assert!(seq_precedes(100, 101));
+        assert!(!seq_precedes(101, 100));
+        assert!(!seq_precedes(7, 7));
+        // Beyond the half-window the order flips (modular ambiguity).
+        assert!(!seq_precedes(0, 2048));
+        assert!(seq_precedes(0, 2047));
     }
 
     #[test]

@@ -24,7 +24,7 @@ CPUS=$(nproc 2>/dev/null || echo 1)
 THREADS=${PCIE_BENCH_THREADS:-$CPUS}
 
 echo "==> cargo build --release (bench binaries)"
-cargo build --release --quiet
+cargo build --release --workspace --quiet
 
 now_ns() { date +%s%N; }
 secs() { awk "BEGIN{printf \"%.3f\", ($2-$1)/1e9}" </dev/null; }
@@ -71,11 +71,30 @@ if [ "$MODE" = "full" ]; then
     P_SPEEDUP=$(ratio "$P_SEQ" "$P_PAR")
 fi
 
-for fig in fig4_baseline_bw fig5_latency_size fig7_cache_ddio fig8_numa fig9_iommu; do
+for fig in fig4_baseline_bw fig5_latency_size fig7_cache_ddio fig8_numa fig9_iommu ext_faults; do
     fig_run "$fig"
 done
 
 Q_SPEEDUP=$(ratio "$Q_SEQ" "$Q_PAR")
+
+# When a previous $OUT exists, print per-entry wall-time deltas against
+# it before overwriting, so a perf swing shows up in the log instead of
+# vanishing with the old file.
+if [ -f "$OUT" ]; then
+    echo "==> wall-time deltas vs previous $OUT"
+    while IFS= read -r run; do
+        name=$(printf '%s\n' "$run" | sed -n 's/.*"name":"\([^"]*\)".*/\1/p')
+        new_w=$(printf '%s\n' "$run" | sed -n 's/.*"wall_s":\([0-9.]*\).*/\1/p')
+        old_w=$(grep -o "\"name\":\"$name\"[^}]*" "$OUT" | sed -n 's/.*"wall_s":\([0-9.]*\).*/\1/p' | head -n 1)
+        if [ -n "${old_w:-}" ] && [ -n "${new_w:-}" ]; then
+            awk "BEGIN{d=$new_w-$old_w; p=($old_w==0)?0:100*d/$old_w; \
+                 printf \"==>   %-20s %8.3fs -> %8.3fs  (%+.3fs, %+.1f%%)\n\", \
+                 \"$name\", $old_w, $new_w, d, p}" </dev/null
+        else
+            echo "==>   $name ${new_w}s (no previous entry)"
+        fi
+    done <"$RUNS_FILE"
+fi
 
 {
     cat <<EOF

@@ -9,8 +9,8 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub use pcie_device as device;
+pub use pcie_fault as fault;
 pub use pcie_host as host;
 pub use pcie_link as link;
 pub use pcie_model as model;

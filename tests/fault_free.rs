@@ -1,0 +1,116 @@
+//! Pins the fault-free equivalence invariant: a [`FaultPlan::none()`]
+//! (or BER = 0) setup is *bit-identical* to one that never heard of
+//! the fault subsystem. The DLL sequence numbers, replay buffer and
+//! error counters may exist, but with no injector installed they must
+//! not perturb a single timestamp, byte count, or telemetry line.
+//!
+//! This is the contract that lets every previously-pinned paper number
+//! (Figures 4–9, Table 2) survive the fault subsystem unchanged.
+
+use pcie_bench_repro::bench::suite::{run_suite_on, SuiteConfig};
+use pcie_bench_repro::bench::{
+    run_bandwidth, run_latency, BenchParams, BenchSetup, BwOp, FaultPlan, LatOp, Pool,
+};
+use pcie_bench_repro::device::DmaPath;
+
+/// The two ways of asking for "no faults" that must be no-ops.
+fn faultless_variants(base: fn() -> BenchSetup) -> [BenchSetup; 2] {
+    [base().with_faults(FaultPlan::none()), base().with_ber(0.0)]
+}
+
+#[test]
+fn bandwidth_is_bit_identical_with_a_none_plan() {
+    for base in [BenchSetup::netfpga_hsw, BenchSetup::nfp6000_hsw] {
+        for sz in [64u32, 257, 1024] {
+            let p = BenchParams::baseline(sz);
+            let clean = run_bandwidth(&base(), &p, BwOp::Rd, 1_500, DmaPath::DmaEngine);
+            for setup in faultless_variants(base) {
+                let r = run_bandwidth(&setup, &p, BwOp::Rd, 1_500, DmaPath::DmaEngine);
+                // Exact f64 equality: same event sequence, same clock.
+                assert_eq!(clean.gbps, r.gbps, "{sz}B gbps");
+                assert_eq!(clean.mtps, r.mtps, "{sz}B mtps");
+                assert_eq!(clean.elapsed, r.elapsed, "{sz}B elapsed");
+                assert_eq!(clean.dll_overhead, r.dll_overhead, "{sz}B dll");
+            }
+        }
+    }
+}
+
+#[test]
+fn latency_journal_is_bit_identical_with_a_none_plan() {
+    let p = BenchParams::baseline(64);
+    let clean = run_latency(
+        &BenchSetup::netfpga_hsw(),
+        &p,
+        LatOp::Rd,
+        400,
+        DmaPath::DmaEngine,
+    );
+    for setup in faultless_variants(BenchSetup::netfpga_hsw) {
+        let r = run_latency(&setup, &p, LatOp::Rd, 400, DmaPath::DmaEngine);
+        assert_eq!(clean.samples_ns, r.samples_ns, "per-sample journal");
+        assert_eq!(clean.summary, r.summary);
+    }
+}
+
+#[test]
+fn quick_suite_is_bit_identical_with_a_none_plan() {
+    let mut cfg = SuiteConfig::quick();
+    cfg.n_lat = 100;
+    cfg.n_bw = 800;
+    let pool = Pool::with_threads(2);
+    let clean = run_suite_on(&BenchSetup::netfpga_hsw(), &cfg, &pool);
+    for setup in faultless_variants(BenchSetup::netfpga_hsw) {
+        let entries = run_suite_on(&setup, &cfg, &pool);
+        // SuiteEntry's PartialEq compares the measured f64s exactly.
+        assert_eq!(clean, entries, "suite grid must match entry-for-entry");
+    }
+}
+
+#[test]
+fn telemetry_snapshot_json_is_byte_identical_with_a_none_plan() {
+    let p = BenchParams::baseline(64);
+    let clean = run_bandwidth(
+        &BenchSetup::netfpga_hsw().with_telemetry(),
+        &p,
+        BwOp::Rd,
+        1_000,
+        DmaPath::DmaEngine,
+    );
+    let clean_json = clean.telemetry.as_ref().unwrap().to_json();
+    for setup in faultless_variants(BenchSetup::netfpga_hsw) {
+        let r = run_bandwidth(&setup.with_telemetry(), &p, BwOp::Rd, 1_000, DmaPath::DmaEngine);
+        let json = r.telemetry.as_ref().unwrap().to_json();
+        assert_eq!(clean_json, json, "snapshot JSON must match byte-for-byte");
+    }
+    // No fault-path groups may leak into a fault-free snapshot.
+    assert!(!clean_json.contains("link.replay"), "replay group leaked");
+    assert!(!clean_json.contains("device.errors"), "errors group leaked");
+}
+
+#[test]
+fn a_faulty_run_does_differ() {
+    // Guard against the equivalence tests passing vacuously (e.g. the
+    // plan being ignored entirely): a nonzero BER must change results.
+    let p = BenchParams::baseline(512);
+    let clean = run_bandwidth(
+        &BenchSetup::netfpga_hsw(),
+        &p,
+        BwOp::Rd,
+        4_000,
+        DmaPath::DmaEngine,
+    );
+    let faulty = run_bandwidth(
+        &BenchSetup::netfpga_hsw().with_ber(1e-5),
+        &p,
+        BwOp::Rd,
+        4_000,
+        DmaPath::DmaEngine,
+    );
+    assert!(
+        faulty.gbps < clean.gbps,
+        "BER=1e-5 must cost goodput ({} vs {})",
+        faulty.gbps,
+        clean.gbps
+    );
+}

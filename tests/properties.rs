@@ -12,6 +12,9 @@ use pcie_bench_repro::bench::{
 use pcie_bench_repro::device::DmaPath;
 use pcie_bench_repro::host::presets::NumaPlacement;
 use pcie_bench_repro::sim::SplitMix64;
+use pcie_bench_repro::tlp::dllp::{
+    seq_distance, seq_mask, seq_next, seq_precedes, Dllp, SEQ_MODULUS,
+};
 
 const CASES: usize = 24;
 
@@ -163,6 +166,83 @@ fn host_accounting_conserves_bytes_regression_min_sequential_cold() {
         cache: CacheState::Cold,
         placement: NumaPlacement::Local,
     });
+}
+
+#[test]
+fn ack_nak_dllps_round_trip_for_any_sequence() {
+    // Any 12-bit sequence number survives the wire encoding of the
+    // DLLPs the replay protocol exchanges; out-of-range values are
+    // masked into the space, never silently corrupted elsewhere.
+    let mut rng = SplitMix64::new(0xD11F_5EED);
+    for _ in 0..CASES * 16 {
+        let raw = rng.next_u64() as u16;
+        let seq = seq_mask(raw);
+        for d in [Dllp::Ack { seq }, Dllp::Nak { seq }] {
+            assert_eq!(Dllp::from_bytes(d.to_bytes()), Some(d), "{d:?}");
+        }
+        // Encoding an unmasked value lands on the masked one.
+        assert_eq!(
+            Dllp::from_bytes(Dllp::Nak { seq: raw }.to_bytes()),
+            Some(Dllp::Nak { seq }),
+            "raw {raw:#x}"
+        );
+    }
+}
+
+#[test]
+fn sequence_ordering_survives_wraparound() {
+    // For any start point — including ones that straddle the 4095 -> 0
+    // wrap — walking k < 2048 steps forward preserves modular order and
+    // distance. This is the comparison the DLL receiver relies on to
+    // tell a replayed TLP from a new one.
+    let mut rng = SplitMix64::new(0x5E0_0E5);
+    for _ in 0..CASES * 8 {
+        let start = seq_mask(rng.next_u64() as u16);
+        let k = rng.range(1, u64::from(SEQ_MODULUS) / 2) as u16;
+        let mut cur = start;
+        for _ in 0..k {
+            let nxt = seq_next(cur);
+            assert!(seq_precedes(cur, nxt), "{cur} must precede {nxt}");
+            assert!(!seq_precedes(nxt, cur), "{nxt} must not precede {cur}");
+            cur = nxt;
+        }
+        assert_eq!(seq_distance(start, cur), k, "distance from {start}");
+        assert!(seq_precedes(start, cur));
+        assert!(!seq_precedes(cur, start));
+        // A full wrap returns to the start and is not "ahead".
+        assert!(!seq_precedes(start, start));
+        assert_eq!(seq_mask(start.wrapping_add(SEQ_MODULUS)), start);
+    }
+}
+
+#[test]
+fn fault_injection_never_improves_bandwidth() {
+    // Replays only ever add wire time: for arbitrary geometries, a
+    // faulty link can at best tie the fault-free run.
+    let mut rng = SplitMix64::new(0xBE2_FA17);
+    for _ in 0..6 {
+        let params = arb_params(&mut rng);
+        let clean = run_bandwidth(
+            &BenchSetup::netfpga_hsw(),
+            &params,
+            BwOp::Rd,
+            600,
+            DmaPath::DmaEngine,
+        );
+        let faulty = run_bandwidth(
+            &BenchSetup::netfpga_hsw().with_ber(1e-5),
+            &params,
+            BwOp::Rd,
+            600,
+            DmaPath::DmaEngine,
+        );
+        assert!(
+            faulty.gbps <= clean.gbps + 1e-9,
+            "BER=1e-5 sped reads up: {} -> {} ({params:?})",
+            clean.gbps,
+            faulty.gbps
+        );
+    }
 }
 
 #[test]

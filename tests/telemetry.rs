@@ -118,6 +118,61 @@ fn wrrd_wire_counters_are_eq1_plus_eq2_up_and_eq3_down() {
 }
 
 #[test]
+fn write_wire_counters_under_replay_are_eq1_plus_replayed_bytes() {
+    // Eq. 1 under faults: every injected LCRC error forces the sender
+    // to retransmit the TLP, so the upstream wire carries the fault-free
+    // Eq. 1 budget *plus* one full TLP re-serialisation per replay —
+    // and the receiver pays a NAK DLLP on the opposite direction. The
+    // replay counters must close that ledger exactly.
+    let setup = BenchSetup::netfpga_hsw().with_ber(2e-5).with_telemetry();
+    let link = setup.link;
+    let transfer = 256u32;
+    let n = 2_000usize;
+    let r = run_bandwidth(
+        &setup,
+        &aligned_params(transfer),
+        BwOp::Wr,
+        n,
+        DmaPath::DmaEngine,
+    );
+    let snap = r.telemetry.as_ref().expect("telemetry enabled");
+    let up = snap.group("link.upstream").expect("upstream group");
+    let replay = snap
+        .group("link.replay.upstream")
+        .expect("replay group present under faults");
+    let replay_bytes = replay.get("replay_bytes").expect("replay_bytes counter");
+    let replays = replay.get("replays").expect("replays counter");
+    assert!(replays > 0, "2e-5 BER over {n} writes must inject");
+    // Wire bytes = n x Eq. 1 + replayed TLP bytes, exactly.
+    assert_eq!(
+        up.get("tlp_bytes"),
+        Some(n as u64 * model::dma_write_bytes(&link, transfer) + replay_bytes),
+        "Eq. 1 plus replay bytes"
+    );
+    // Payload accounting is untouched by replays: the *goodput* ledger
+    // still sees each byte once.
+    assert_eq!(up.get("payload_bytes"), Some(n as u64 * transfer as u64));
+    // Every NAK-detected replay emitted one 8-byte NAK DLLP on the
+    // opposite (downstream) direction, on top of ACKs and FC updates.
+    let down = snap.group("link.downstream").expect("downstream group");
+    let naks = snap
+        .group("link.replay.downstream")
+        .map(|g| g.get("naks").unwrap_or(0))
+        .unwrap_or(0);
+    assert_eq!(
+        naks,
+        replays - replay.get("timeout_replays").unwrap_or(0),
+        "one NAK per NAK-detected upstream replay"
+    );
+    assert_eq!(
+        down.get("dllp_bytes"),
+        Some(down.get("dllps").unwrap() * 8),
+        "all DLLPs are 8 wire bytes"
+    );
+    assert!(naks > 0, "BER-driven replays are NAK-detected");
+}
+
+#[test]
 fn stage_breakdown_reconciles_with_end_to_end() {
     // The tentpole acceptance check, through the public API: for every
     // system and op, the per-stage contributions must sum to the
