@@ -24,9 +24,7 @@ use pcie_bench_harness::{baseline_params, header, n};
 use pcie_device::DmaPath;
 use pcie_par::Pool;
 use pciebench::report::format_multi_series;
-use pciebench::{
-    run_bandwidth_with, run_latency, BenchScratch, BenchSetup, BwOp, LatOp, Stage,
-};
+use pciebench::{run_bandwidth_with, run_latency, BenchScratch, BenchSetup, BwOp, LatOp, Stage};
 
 /// Log-spaced BER grid; 0 first so the fault-free baseline anchors the
 /// sweep.
@@ -109,7 +107,13 @@ fn main() {
     let mut p99_max = 0.0;
     for &ber in &BERS {
         let setup = BenchSetup::netfpga_hsw().with_ber(ber).with_telemetry();
-        let r = run_latency(&setup, &baseline_params(64), LatOp::Rd, n_lat, DmaPath::DmaEngine);
+        let r = run_latency(
+            &setup,
+            &baseline_params(64),
+            LatOp::Rd,
+            n_lat,
+            DmaPath::DmaEngine,
+        );
         let s = &r.summary;
         let snap = r.telemetry.as_ref().expect("telemetry enabled");
         let replay_mean = snap

@@ -37,8 +37,22 @@ fn main() {
         // sweep across the pool, results back in size order.
         let rows = pool.run_with(sizes.len(), BenchScratch::new, |scratch, i| {
             let sz = sizes[i];
-            let a = run_bandwidth_with(&nfp, &baseline_params(sz), op, txns, DmaPath::DmaEngine, scratch);
-            let b = run_bandwidth_with(&netfpga, &baseline_params(sz), op, txns, DmaPath::DmaEngine, scratch);
+            let a = run_bandwidth_with(
+                &nfp,
+                &baseline_params(sz),
+                op,
+                txns,
+                DmaPath::DmaEngine,
+                scratch,
+            );
+            let b = run_bandwidth_with(
+                &netfpga,
+                &baseline_params(sz),
+                op,
+                txns,
+                DmaPath::DmaEngine,
+                scratch,
+            );
             (a.gbps, b.gbps)
         });
         let mut m_series = Vec::new();

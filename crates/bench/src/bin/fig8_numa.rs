@@ -8,7 +8,9 @@ use pcie_bench_harness::{header, n};
 use pcie_device::DmaPath;
 use pcie_host::presets::NumaPlacement;
 use pcie_par::Pool;
-use pciebench::{run_bandwidth_with, BenchParams, BenchScratch, BenchSetup, BwOp, CacheState, Pattern};
+use pciebench::{
+    run_bandwidth_with, BenchParams, BenchScratch, BenchSetup, BwOp, CacheState, Pattern,
+};
 
 fn main() {
     header("Figure 8: local vs remote DMA read bandwidth, warm cache (NFP6000-BDW)");

@@ -45,9 +45,22 @@ fn main() {
         .collect();
     let cells = pool.run_with(grid.len(), BenchScratch::new, |scratch, i| {
         let (w, sz) = grid[i];
-        let base =
-            run_bandwidth_with(&off, &params(w, sz), BwOp::Rd, txns, DmaPath::DmaEngine, scratch);
-        let io = run_bandwidth_with(&on, &params(w, sz), BwOp::Rd, txns, DmaPath::DmaEngine, scratch);
+        let base = run_bandwidth_with(
+            &off,
+            &params(w, sz),
+            BwOp::Rd,
+            txns,
+            DmaPath::DmaEngine,
+            scratch,
+        );
+        let io = run_bandwidth_with(
+            &on,
+            &params(w, sz),
+            BwOp::Rd,
+            txns,
+            DmaPath::DmaEngine,
+            scratch,
+        );
         (io.gbps / base.gbps - 1.0) * 100.0
     });
     let mut biggest_drop = 0.0f64;
@@ -79,10 +92,22 @@ fn main() {
     println!("# {:>10} {:>10}", "window", "64B");
     let sp_cells = pool.run_with(windows.len(), BenchScratch::new, |scratch, i| {
         let w = windows[i];
-        let base =
-            run_bandwidth_with(&off, &params(w, 64), BwOp::Rd, txns, DmaPath::DmaEngine, scratch);
-        let io =
-            run_bandwidth_with(&sp, &params(w, 64), BwOp::Rd, txns, DmaPath::DmaEngine, scratch);
+        let base = run_bandwidth_with(
+            &off,
+            &params(w, 64),
+            BwOp::Rd,
+            txns,
+            DmaPath::DmaEngine,
+            scratch,
+        );
+        let io = run_bandwidth_with(
+            &sp,
+            &params(w, 64),
+            BwOp::Rd,
+            txns,
+            DmaPath::DmaEngine,
+            scratch,
+        );
         (io.gbps / base.gbps - 1.0) * 100.0
     });
     for (&w, &c) in windows.iter().zip(&sp_cells) {

@@ -110,7 +110,11 @@ pub fn print_stage_breakdown(snap: &Snapshot) {
 /// (`link.replay.*`, `device.errors`) as commented lines. Silent when
 /// the snapshot carries none — i.e. on every fault-free run.
 pub fn print_fault_summary(snap: &Snapshot) {
-    for comp in ["link.replay.upstream", "link.replay.downstream", "device.errors"] {
+    for comp in [
+        "link.replay.upstream",
+        "link.replay.downstream",
+        "device.errors",
+    ] {
         if let Some(g) = snap.group(comp) {
             let cells: Vec<String> = g
                 .counters()
@@ -129,7 +133,11 @@ pub fn export_snapshot(dir: &std::path::Path, stem: &str, snap: &Snapshot) {
     let csv = dir.join(format!("{stem}.telemetry.csv"));
     pciebench::export::write_snapshot_json(&json, snap).expect("telemetry json export");
     pciebench::export::write_snapshot_csv(&csv, snap).expect("telemetry csv export");
-    println!("# telemetry snapshot in {} and {}", json.display(), csv.display());
+    println!(
+        "# telemetry snapshot in {} and {}",
+        json.display(),
+        csv.display()
+    );
 }
 
 #[cfg(test)]

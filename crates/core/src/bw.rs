@@ -232,8 +232,14 @@ mod tests {
         for sz in [64u32, 257, 1024] {
             let p = BenchParams::baseline(sz);
             let fresh = run_bandwidth(&setup, &p, BwOp::RdWr, 500, DmaPath::DmaEngine);
-            let reused =
-                run_bandwidth_with(&setup, &p, BwOp::RdWr, 500, DmaPath::DmaEngine, &mut scratch);
+            let reused = run_bandwidth_with(
+                &setup,
+                &p,
+                BwOp::RdWr,
+                500,
+                DmaPath::DmaEngine,
+                &mut scratch,
+            );
             assert_eq!(fresh.gbps, reused.gbps, "size {sz}");
             assert_eq!(fresh.mtps, reused.mtps, "size {sz}");
             assert_eq!(fresh.elapsed, reused.elapsed, "size {sz}");

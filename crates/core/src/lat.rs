@@ -135,7 +135,9 @@ fn measure(
             LatOp::Rd => platform.dma_read(now, &buf, off, params.transfer, path),
             LatOp::WrRd => platform.dma_write_read(now, &buf, off, params.transfer, path),
         };
-        scratch.samples.push(platform.quantize(r.latency()).as_ns_f64());
+        scratch
+            .samples
+            .push(platform.quantize(r.latency()).as_ns_f64());
         now = r.done + JOURNAL_GAP;
     }
     scratch.put_order(seq.into_buffer());
@@ -229,8 +231,7 @@ mod tests {
         assert_eq!(st.transactions, 400);
         // Per-stage totals reconcile with the end-to-end histogram.
         assert!(
-            (st.stage_total_ns() - st.end_to_end_total_ns).abs()
-                < 1e-6 * st.end_to_end_total_ns,
+            (st.stage_total_ns() - st.end_to_end_total_ns).abs() < 1e-6 * st.end_to_end_total_ns,
             "stage sum {} vs end-to-end {}",
             st.stage_total_ns(),
             st.end_to_end_total_ns
@@ -254,7 +255,10 @@ mod tests {
             assert_eq!(full.summary, s, "size {sz}");
             let mut resorted = full.samples_ns.clone();
             crate::stats::sort_samples(&mut resorted);
-            assert_eq!(full.sorted_ns, resorted, "sorted buffer is the sorted journal");
+            assert_eq!(
+                full.sorted_ns, resorted,
+                "sorted buffer is the sorted journal"
+            );
         }
         let caps = scratch.capacities();
         let s2 = run_latency_summary(

@@ -236,10 +236,7 @@ mod tests {
         let setup = BenchSetup::netfpga_hsw().with_ber(1e-6);
         let (platform, _) = setup.build(&BenchParams::baseline(64));
         assert!(platform.link().faults_active());
-        assert_eq!(
-            platform.link().fault_plan().unwrap().upstream.ber,
-            1e-6
-        );
+        assert_eq!(platform.link().fault_plan().unwrap().upstream.ber, 1e-6);
     }
 
     #[test]

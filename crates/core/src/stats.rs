@@ -46,10 +46,7 @@ impl Summary {
     /// scan — NaN breaks percentile ranks silently otherwise).
     pub fn from_sorted(sorted: &[f64]) -> Summary {
         assert!(!sorted.is_empty(), "no samples");
-        assert!(
-            sorted.iter().all(|x| !x.is_nan()),
-            "NaN sample"
-        );
+        assert!(sorted.iter().all(|x| !x.is_nan()), "NaN sample");
         assert!(
             sorted.windows(2).all(|w| w[0] <= w[1]),
             "samples not sorted"

@@ -32,6 +32,6 @@ pub mod platform;
 
 pub use config_space::ConfigSpace;
 pub use gate::SlotGate;
-pub use multi::MultiPlatform;
+pub use multi::{MultiPlatform, BAR_WINDOW};
 pub use params::DeviceParams;
-pub use platform::{DeviceEngine, DmaPath, Platform};
+pub use platform::{DeviceEngine, DmaPath, Fabric, P2pRoute, Platform};

@@ -13,22 +13,44 @@
 //! IO-TLB.
 
 use crate::params::DeviceParams;
-use crate::platform::{DeviceEngine, DmaPath, DmaResult};
+use crate::platform::{DeviceEngine, DmaPath, DmaResult, P2pRoute};
 use pcie_host::{HostBuffer, HostSystem};
-use pcie_link::LinkTiming;
+use pcie_link::{Direction, LinkTiming};
 use pcie_model::config::LinkConfig;
 use pcie_sim::SimTime;
+use pcie_telemetry::Snapshot;
+use pcie_topo::{Switch, SwitchConfig, Topology};
 
-/// Several devices behind one root complex.
+/// Base host-physical address of device BAR windows (well above any
+/// DRAM the buffer allocator hands out).
+pub const BAR_BASE: u64 = 1 << 40;
+/// BAR window size per device (16 MiB, a typical large BAR).
+pub const BAR_WINDOW: u64 = 16 * 1024 * 1024;
+
+/// Two distinct mutable engines out of one slice.
+fn pair_mut(v: &mut [DeviceEngine], a: usize, b: usize) -> (&mut DeviceEngine, &mut DeviceEngine) {
+    assert!(a != b, "peer DMA needs two distinct devices");
+    if a < b {
+        let (lo, hi) = v.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
+/// Several devices behind one root complex — flat, or behind a shared
+/// switch (see [`Topology`]).
 pub struct MultiPlatform {
     /// The shared host.
     pub host: HostSystem,
     engines: Vec<DeviceEngine>,
+    topo: Topology,
 }
 
 impl MultiPlatform {
-    /// Builds a multi-device platform; device *i* translates in IOMMU
-    /// domain *i*.
+    /// Builds a flat multi-device platform (every device directly on
+    /// the root complex); device *i* translates in IOMMU domain *i*.
     pub fn new(devices: Vec<(DeviceParams, LinkConfig, LinkTiming)>, host: HostSystem) -> Self {
         assert!(!devices.is_empty());
         let engines = devices
@@ -36,10 +58,14 @@ impl MultiPlatform {
             .enumerate()
             .map(|(i, (dev, cfg, timing))| DeviceEngine::new(dev, cfg, timing, i as u32))
             .collect();
-        MultiPlatform { host, engines }
+        MultiPlatform {
+            host,
+            engines,
+            topo: Topology::Flat,
+        }
     }
 
-    /// Convenience: `n` identical devices.
+    /// Convenience: `n` identical devices, flat attach.
     pub fn homogeneous(
         n: usize,
         dev: DeviceParams,
@@ -48,6 +74,42 @@ impl MultiPlatform {
         host: HostSystem,
     ) -> Self {
         Self::new(vec![(dev, cfg, timing); n], host)
+    }
+
+    /// Builds a switched platform: device *i* on downstream port *i*
+    /// of one switch whose upstream port faces the root complex. Each
+    /// device gets a [`BAR_WINDOW`]-sized BAR at [`bar_addr`](Self::bar_addr)
+    /// for peer-to-peer traffic.
+    pub fn switched(
+        devices: Vec<(DeviceParams, LinkConfig, LinkTiming)>,
+        host: HostSystem,
+        sw_cfg: SwitchConfig,
+    ) -> Self {
+        let mut p = Self::new(devices, host);
+        let n = p.engines.len();
+        let mut sw = Switch::new(n, sw_cfg);
+        for i in 0..n {
+            sw.register_bar(i, Self::bar_addr(i), BAR_WINDOW);
+        }
+        p.topo = Topology::Switched(Box::new(sw));
+        p
+    }
+
+    /// Convenience: `n` identical devices behind one switch.
+    pub fn homogeneous_switched(
+        n: usize,
+        dev: DeviceParams,
+        cfg: LinkConfig,
+        timing: LinkTiming,
+        host: HostSystem,
+        sw_cfg: SwitchConfig,
+    ) -> Self {
+        Self::switched(vec![(dev, cfg, timing); n], host, sw_cfg)
+    }
+
+    /// Base address of device `i`'s BAR window.
+    pub fn bar_addr(i: usize) -> u64 {
+        BAR_BASE + i as u64 * BAR_WINDOW
     }
 
     /// Number of attached devices.
@@ -60,7 +122,17 @@ impl MultiPlatform {
         &self.engines[i]
     }
 
-    /// DMA read from device `i`.
+    /// The topology the devices attach through.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The switch, when the topology is switched.
+    pub fn switch(&self) -> Option<&Switch> {
+        self.topo.switch()
+    }
+
+    /// DMA read from device `i` into host memory.
     pub fn dma_read(
         &mut self,
         i: usize,
@@ -70,10 +142,23 @@ impl MultiPlatform {
         len: u32,
         path: DmaPath,
     ) -> DmaResult {
-        self.engines[i].dma_read(&mut self.host, want, buf, offset, len, path)
+        match &mut self.topo {
+            Topology::Flat => {
+                self.engines[i].dma_read(&mut self.host, want, buf, offset, len, path)
+            }
+            Topology::Switched(sw) => self.engines[i].dma_read_via(
+                &mut self.host,
+                Some((sw, i)),
+                want,
+                buf,
+                offset,
+                len,
+                path,
+            ),
+        }
     }
 
-    /// DMA write from device `i`.
+    /// DMA write from device `i` into host memory.
     pub fn dma_write(
         &mut self,
         i: usize,
@@ -83,7 +168,128 @@ impl MultiPlatform {
         len: u32,
         path: DmaPath,
     ) -> DmaResult {
-        self.engines[i].dma_write(&mut self.host, want, buf, offset, len, path)
+        match &mut self.topo {
+            Topology::Flat => {
+                self.engines[i].dma_write(&mut self.host, want, buf, offset, len, path)
+            }
+            Topology::Switched(sw) => self.engines[i].dma_write_via(
+                &mut self.host,
+                Some((sw, i)),
+                want,
+                buf,
+                offset,
+                len,
+                path,
+            ),
+        }
+    }
+
+    /// Peer-to-peer DMA write: device `src` writes `len` bytes at
+    /// `offset` into device `dst`'s BAR window. The route follows the
+    /// topology: forwarded at the switch when one is present (bounced
+    /// through the root complex if its ACS redirect knob is on),
+    /// through the root complex on flat attach.
+    pub fn p2p_write(
+        &mut self,
+        src: usize,
+        dst: usize,
+        want: SimTime,
+        offset: u64,
+        len: u32,
+    ) -> DmaResult {
+        let addr = Self::bar_addr(dst) + offset;
+        let (eng_src, eng_dst) = pair_mut(&mut self.engines, src, dst);
+        let route = Self::route(&mut self.topo, &mut self.host, src, dst);
+        eng_src.p2p_write(eng_dst, route, want, addr, len)
+    }
+
+    /// Peer-to-peer DMA read: device `src` reads `len` bytes at
+    /// `offset` from device `dst`'s BAR window (route as in
+    /// [`MultiPlatform::p2p_write`]).
+    pub fn p2p_read(
+        &mut self,
+        src: usize,
+        dst: usize,
+        want: SimTime,
+        offset: u64,
+        len: u32,
+    ) -> DmaResult {
+        let addr = Self::bar_addr(dst) + offset;
+        let (eng_src, eng_dst) = pair_mut(&mut self.engines, src, dst);
+        let route = Self::route(&mut self.topo, &mut self.host, src, dst);
+        eng_src.p2p_read(eng_dst, route, want, addr, len)
+    }
+
+    fn route<'a>(
+        topo: &'a mut Topology,
+        host: &'a mut HostSystem,
+        src: usize,
+        dst: usize,
+    ) -> P2pRoute<'a> {
+        match topo {
+            Topology::Flat => P2pRoute::RootComplex { host },
+            Topology::Switched(sw) => {
+                debug_assert_eq!(
+                    sw.route(Self::bar_addr(dst)),
+                    Some(dst),
+                    "BAR windows are registered per port"
+                );
+                if sw.config().acs_redirect {
+                    P2pRoute::AcsRedirect {
+                        switch: sw,
+                        src_port: src,
+                        dst_port: dst,
+                        host,
+                    }
+                } else {
+                    P2pRoute::Switch {
+                        switch: sw,
+                        src_port: src,
+                        dst_port: dst,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Assembles the cross-layer telemetry snapshot: per-device link
+    /// and engine groups prefixed `dev{i}.`, the shared host groups,
+    /// and — when switched — the `topo.switch` / `topo.port{i}` groups
+    /// plus the shared upstream link as `topo.uplink.*`.
+    pub fn telemetry_snapshot(&self, label: impl Into<String>) -> Snapshot {
+        let mut snap = Snapshot::new(label);
+        for (i, e) in self.engines.iter().enumerate() {
+            for dir in [Direction::Upstream, Direction::Downstream] {
+                let mut g = e.link().telemetry_group(dir);
+                g.component = format!("dev{i}.{}", g.component);
+                snap.add_group(g);
+                if let Some(mut g) = e.link().replay_telemetry_group(dir) {
+                    g.component = format!("dev{i}.{}", g.component);
+                    snap.add_group(g);
+                }
+            }
+            for mut g in e.telemetry_groups() {
+                g.component = format!("dev{i}.{}", g.component);
+                snap.add_group(g);
+            }
+        }
+        for g in self.host.telemetry_groups() {
+            snap.add_group(g);
+        }
+        if let Topology::Switched(sw) = &self.topo {
+            for g in sw.telemetry_groups() {
+                snap.add_group(g);
+            }
+            for (dir, name) in [
+                (Direction::Upstream, "topo.uplink.upstream"),
+                (Direction::Downstream, "topo.uplink.downstream"),
+            ] {
+                let mut g = sw.uplink().telemetry_group(dir);
+                g.component = name.to_string();
+                snap.add_group(g);
+            }
+        }
+        snap
     }
 }
 
@@ -201,5 +407,62 @@ mod tests {
     fn empty_platform_rejected() {
         let host = HostSystem::new(HostPreset::netfpga_hsw(), 1);
         MultiPlatform::new(vec![], host);
+    }
+
+    /// `n` devices, each with its own 32-page (128 KiB) buffer, all
+    /// sweeping their buffers page by page in lockstep for `rounds`
+    /// rounds. Returns the IOMMU stats after the run.
+    fn iotlb_sweep(n: usize, rounds: usize) -> pcie_host::iommu::IommuStats {
+        const PAGES: u64 = 32;
+        let mut alloc = BufferAllocator::default_layout();
+        let bufs: Vec<HostBuffer> = (0..n).map(|_| alloc.alloc(PAGES * 4096, 0)).collect();
+        let mut host = HostSystem::new(HostPreset::netfpga_hsw(), 7);
+        host.set_iommu(Some(Iommu::intel_4k()));
+        let mut p = MultiPlatform::homogeneous(
+            n,
+            DeviceParams::netfpga(),
+            LinkConfig::gen3_x8(),
+            LinkTiming::default(),
+            host,
+        );
+        for _ in 0..rounds {
+            for page in 0..PAGES {
+                for (d, buf) in bufs.iter().enumerate() {
+                    p.dma_read(d, SimTime::ZERO, buf, page * 4096, 64, DmaPath::DmaEngine);
+                }
+            }
+        }
+        p.host.iommu().unwrap().stats()
+    }
+
+    #[test]
+    fn lone_device_fits_the_iotlb_exactly() {
+        // 32 pages < 64 entries: round 1 walks each page once, every
+        // later access hits, and nothing is ever evicted. Pinned
+        // exactly — any accounting drift in the shared-TLB path shows
+        // up here first.
+        let rounds = 5;
+        let s = iotlb_sweep(1, rounds);
+        assert_eq!(s.tlb_misses, 32, "one walk per page, first round only");
+        assert_eq!(s.tlb_hits, 32 * (rounds as u64 - 1));
+        assert_eq!(s.tlb_evictions, 0, "working set fits: no eviction");
+    }
+
+    #[test]
+    fn four_domains_thrash_the_shared_iotlb() {
+        // 4 × 32 pages = 128 distinct (domain, page) entries cycling
+        // through a 64-entry LRU TLB: the classic sequential-sweep
+        // pathology — every single access misses, and every walk past
+        // the first 64 displaces a live entry. Pinned exactly.
+        let rounds = 5;
+        let s = iotlb_sweep(4, rounds);
+        let accesses = 4 * 32 * rounds as u64;
+        assert_eq!(s.tlb_misses, accesses, "LRU + cyclic sweep: all miss");
+        assert_eq!(s.tlb_hits, 0);
+        assert_eq!(
+            s.tlb_evictions,
+            accesses - 64,
+            "every walk after the TLB fills displaces a live entry"
+        );
     }
 }

@@ -35,6 +35,7 @@ use pcie_sim::{SimTime, Timeline};
 use pcie_telemetry::{CounterGroup, Snapshot, Stage, StageReport, StageSample, StageStats};
 use pcie_tlp::split;
 use pcie_tlp::types::TlpType;
+use pcie_topo::Switch;
 
 /// Which device path issues a transfer (§5.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +71,61 @@ impl DmaResult {
 const POSTED_HDR_CREDITS: usize = 64;
 const NONPOSTED_HDR_CREDITS: usize = 64;
 
+/// The fabric between a device's link and the root complex: `None` is
+/// the flat root-complex attach (the pre-topology configuration — the
+/// code path is identical, keeping flat results bit-identical), and
+/// `Some((switch, port))` interposes downstream port `port` of
+/// `switch` so host-bound TLPs pay the cut-through and shared-upstream
+/// serialisation.
+pub type Fabric<'a> = Option<(&'a mut Switch, usize)>;
+
+/// Reborrows a fabric so it can be threaded through several calls.
+fn reborrow<'b>(fab: &'b mut Fabric<'_>) -> Fabric<'b> {
+    fab.as_mut().map(|(sw, port)| (&mut **sw, *port))
+}
+
+/// How peer-to-peer memory TLPs travel between two devices (§9
+/// future-work configuration; see DESIGN.md §9).
+pub enum P2pRoute<'a> {
+    /// Both devices behind one switch with ACS redirect off: requests
+    /// are address-routed at the switch and never reach the root
+    /// complex.
+    Switch {
+        /// The shared switch.
+        switch: &'a mut Switch,
+        /// The initiator's downstream port.
+        src_port: usize,
+        /// The target's downstream port.
+        dst_port: usize,
+    },
+    /// Behind one switch with ACS Source Validation/P2P Request
+    /// Redirect on: requests bounce through the root complex (and its
+    /// IOMMU) before coming back down; completions are ID-routed and
+    /// return directly through the switch.
+    AcsRedirect {
+        /// The shared switch.
+        switch: &'a mut Switch,
+        /// The initiator's downstream port.
+        src_port: usize,
+        /// The target's downstream port.
+        dst_port: usize,
+        /// The host whose root complex validates the requests.
+        host: &'a mut HostSystem,
+    },
+    /// Flat attach (no switch): peer TLPs naturally route up to the
+    /// root complex and back down the target's link.
+    RootComplex {
+        /// The shared host.
+        host: &'a mut HostSystem,
+    },
+}
+
+/// BAR-target latencies for the flat (switch-free) P2P route; the
+/// switched routes read the same figures from `SwitchConfig` so flat
+/// vs switched comparisons isolate the fabric cost.
+const FLAT_BAR_READ_LATENCY: SimTime = SimTime::from_ns(150);
+const FLAT_BAR_WRITE_LATENCY: SimTime = SimTime::from_ns(50);
+
 /// One device's complete PCIe machinery: its link, DMA engine issue
 /// port, worker pool, tag window and flow-control credit gates, plus
 /// the IOMMU protection domain its traffic translates in.
@@ -91,6 +147,8 @@ pub struct DeviceEngine {
     dma_reads: u64,
     dma_writes: u64,
     dma_write_reads: u64,
+    p2p_reads: u64,
+    p2p_writes: u64,
     /// AER-style error counters; only exported as a telemetry group
     /// when a fault plan is installed.
     errors: DeviceErrorCounters,
@@ -122,6 +180,8 @@ impl DeviceEngine {
             dma_reads: 0,
             dma_writes: 0,
             dma_write_reads: 0,
+            p2p_reads: 0,
+            p2p_writes: 0,
             errors: DeviceErrorCounters::default(),
             completion_timeout: FaultPlan::none().completion_timeout,
             max_read_retries: FaultPlan::none().max_read_retries,
@@ -172,10 +232,27 @@ impl DeviceEngine {
         &self.link
     }
 
-    /// Issues a DMA read through this engine.
+    /// Issues a DMA read through this engine (flat root-complex
+    /// attach).
     pub fn dma_read(
         &mut self,
         host: &mut HostSystem,
+        want: SimTime,
+        buf: &HostBuffer,
+        offset: u64,
+        len: u32,
+        path: DmaPath,
+    ) -> DmaResult {
+        self.dma_read_via(host, None, want, buf, offset, len, path)
+    }
+
+    /// Issues a DMA read through an explicit fabric (`None` = flat
+    /// attach, identical to [`DeviceEngine::dma_read`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn dma_read_via(
+        &mut self,
+        host: &mut HostSystem,
+        fab: Fabric<'_>,
         want: SimTime,
         buf: &HostBuffer,
         offset: u64,
@@ -196,7 +273,7 @@ impl DeviceEngine {
                 t
             }
         };
-        let done = self.read_after(host, issued, t0, buf, offset, len, path);
+        let done = self.read_after_via(host, fab, issued, t0, buf, offset, len, path);
         self.workers.release_at(done);
         self.dma_reads += 1;
         DmaResult {
@@ -218,8 +295,24 @@ impl DeviceEngine {
         len: u32,
         path: DmaPath,
     ) -> DmaResult {
+        self.dma_write_via(host, None, want, buf, offset, len, path)
+    }
+
+    /// Issues a DMA write through an explicit fabric (`None` = flat
+    /// attach, identical to [`DeviceEngine::dma_write`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn dma_write_via(
+        &mut self,
+        host: &mut HostSystem,
+        fab: Fabric<'_>,
+        want: SimTime,
+        buf: &HostBuffer,
+        offset: u64,
+        len: u32,
+        path: DmaPath,
+    ) -> DmaResult {
         let issued = self.workers.acquire(want);
-        let (done, absorbed) = self.write_inner(host, issued, buf, offset, len, path);
+        let (done, absorbed) = self.write_inner_via(host, fab, issued, buf, offset, len, path);
         self.workers.release_at(done);
         self.dma_writes += 1;
         DmaResult {
@@ -229,9 +322,11 @@ impl DeviceEngine {
         }
     }
 
-    fn write_inner(
+    #[allow(clippy::too_many_arguments)]
+    fn write_inner_via(
         &mut self,
         host: &mut HostSystem,
+        mut fab: Fabric<'_>,
         issued: SimTime,
         buf: &HostBuffer,
         offset: u64,
@@ -279,8 +374,15 @@ impl DeviceEngine {
                 sent_last = arrival - prop;
                 continue;
             }
+            // Through a switch the TLP still has the cut-through and
+            // the shared upstream link ahead of it before the root
+            // complex sees it.
+            let rc_at = match fab.as_mut() {
+                Some((sw, port)) => sw.forward_up(*port, TlpType::MWr64, chunk.len, arrival),
+                None => arrival,
+            };
             let absorbed =
-                host.process_write_tlp_in(arrival, self.domain, buf, chunk.addr, chunk.len);
+                host.process_write_tlp_in(rc_at, self.domain, buf, chunk.addr, chunk.len);
             // Posted credits return once the RC absorbs the write.
             self.posted_credits.release_at(absorbed);
             absorbed_last = absorbed_last.max(absorbed);
@@ -301,18 +403,35 @@ impl DeviceEngine {
         len: u32,
         path: DmaPath,
     ) -> DmaResult {
+        self.dma_write_read_via(host, None, want, buf, offset, len, path)
+    }
+
+    /// `LAT_WRRD` through an explicit fabric (`None` = flat attach,
+    /// identical to [`DeviceEngine::dma_write_read`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn dma_write_read_via(
+        &mut self,
+        host: &mut HostSystem,
+        mut fab: Fabric<'_>,
+        want: SimTime,
+        buf: &HostBuffer,
+        offset: u64,
+        len: u32,
+        path: DmaPath,
+    ) -> DmaResult {
         let issued = self.workers.acquire(want);
-        let (write_done, _) = self.write_inner(host, issued, buf, offset, len, path);
+        let (write_done, _) =
+            self.write_inner_via(host, reborrow(&mut fab), issued, buf, offset, len, path);
         // The read descriptor follows the write into the queue.
         let read = match path {
             DmaPath::DmaEngine => {
                 let prep = write_done.max(issued + self.dev.dma_issue_overhead);
                 let t0 = self.issue_port.reserve(prep, self.dev.issue_gap).end;
                 // The read's Issue stage absorbs the preceding write.
-                self.read_after(host, issued, t0, buf, offset, len, path)
+                self.read_after_via(host, fab, issued, t0, buf, offset, len, path)
             }
             DmaPath::CommandIf => {
-                self.read_after(host, issued, write_done, buf, offset, len, path)
+                self.read_after_via(host, fab, issued, write_done, buf, offset, len, path)
             }
         };
         self.workers.release_at(read);
@@ -333,9 +452,10 @@ impl DeviceEngine {
     /// last_arrival → done` — so the sample's stage durations sum
     /// exactly to the end-to-end latency `done - issued`.
     #[allow(clippy::too_many_arguments)]
-    fn read_after(
+    fn read_after_via(
         &mut self,
         host: &mut HostSystem,
+        mut fab: Fabric<'_>,
         issued: SimTime,
         t0: SimTime,
         buf: &HostBuffer,
@@ -385,16 +505,27 @@ impl DeviceEngine {
                     attempt_start = resume;
                     continue;
                 }
+                // Behind a switch the request still crosses the
+                // cut-through stage and the shared upstream link; the
+                // wire stage of the telemetry attribution absorbs both.
+                let req_arrival = match fab.as_mut() {
+                    Some((sw, port)) => sw.forward_up(*port, TlpType::MRd64, 0, req.arrival),
+                    None => req.arrival,
+                };
                 let ready =
-                    host.process_read_tlp_in(req.arrival, self.domain, buf, chunk.addr, chunk.len);
+                    host.process_read_tlp_in(req_arrival, self.domain, buf, chunk.addr, chunk.len);
                 let mut last_arrival = ready;
                 let mut cpl_fault = SimTime::ZERO;
                 let mut cpl_dropped = false;
                 let mut cpl_poisoned = false;
                 for cpl in split::split_completions(chunk.addr, chunk.len, cfg.mps, cfg.rcb) {
+                    let at = match fab.as_mut() {
+                        Some((sw, port)) => sw.forward_down(*port, TlpType::CplD, cpl.len, ready),
+                        None => ready,
+                    };
                     let out =
                         self.link
-                            .send_tlp_ext(Direction::Downstream, TlpType::CplD, cpl.len, ready);
+                            .send_tlp_ext(Direction::Downstream, TlpType::CplD, cpl.len, at);
                     last_arrival = out.arrival;
                     cpl_fault += out.fault_delay;
                     cpl_dropped |= out.dropped;
@@ -427,7 +558,14 @@ impl DeviceEngine {
                     attempt_start = last_arrival;
                     continue;
                 }
-                break Ok((np_at, req.arrival, ready, last_arrival, req.fault_delay, cpl_fault));
+                break Ok((
+                    np_at,
+                    req_arrival,
+                    ready,
+                    last_arrival,
+                    req.fault_delay,
+                    cpl_fault,
+                ));
             };
             match outcome {
                 Ok((np_final, req_arrival, ready, last_arrival, req_fault, cpl_fault)) => {
@@ -471,9 +609,8 @@ impl DeviceEngine {
             // attributed to the Replay stage; the wire stages keep
             // their clean serialisation + propagation time, so the
             // seven stages still telescope to `done - issued`.
-            let replay_ns = (np_final - first_np).as_ns_f64()
-                + req_fault.as_ns_f64()
-                + cpl_fault.as_ns_f64();
+            let replay_ns =
+                (np_final - first_np).as_ns_f64() + req_fault.as_ns_f64() + cpl_fault.as_ns_f64();
             let mut s = StageSample::default();
             s.set(Stage::Issue, (t0 - issued).as_ns_f64())
                 .set(Stage::TagAlloc, (first_np - t0).as_ns_f64())
@@ -491,6 +628,211 @@ impl DeviceEngine {
             stats.record(&s);
         }
         done
+    }
+
+    /// Peer-to-peer DMA write: this engine writes `len` bytes into the
+    /// peer device's BAR window at `addr`, travelling the given
+    /// [`P2pRoute`]. Posted semantics: `done` is when the last MWr has
+    /// left this device's wire; `absorbed` is when the peer's BAR
+    /// target logic has absorbed the last chunk.
+    pub fn p2p_write(
+        &mut self,
+        peer: &mut DeviceEngine,
+        mut route: P2pRoute<'_>,
+        want: SimTime,
+        addr: u64,
+        len: u32,
+    ) -> DmaResult {
+        let issued = self.workers.acquire(want);
+        // Stage the payload out of internal memory, then enqueue.
+        let staged = issued + self.dev.internal_copy(len);
+        let prep = staged + self.dev.dma_issue_overhead;
+        let t0 = self.issue_port.reserve(prep, self.dev.issue_gap).end;
+        let cfg = *self.link.config();
+        let prop = self.link.timing().propagation;
+        let mut sent_last = t0;
+        let mut absorbed_last = t0;
+        for chunk in split::split_write(addr, len, cfg.mps) {
+            let p_at = self.posted_credits.acquire(sent_last.max(t0));
+            let out = self
+                .link
+                .send_tlp_ext(Direction::Upstream, TlpType::MWr64, chunk.len, p_at);
+            // The peer-bound leg: delivered onto the peer's downstream
+            // wire as a sporadic TLP (out-of-FIFO, bytes still
+            // accounted), then absorbed by the peer's BAR target.
+            let absorbed = match &mut route {
+                P2pRoute::Switch {
+                    switch,
+                    src_port,
+                    dst_port,
+                } => {
+                    let at = switch.forward_peer(
+                        *src_port,
+                        *dst_port,
+                        TlpType::MWr64,
+                        chunk.len,
+                        out.arrival,
+                    );
+                    let dev_at = peer.link.send_tlp_deferred(
+                        Direction::Downstream,
+                        TlpType::MWr64,
+                        chunk.len,
+                        at,
+                    );
+                    dev_at + switch.config().bar_write_latency
+                }
+                P2pRoute::AcsRedirect {
+                    switch,
+                    src_port,
+                    dst_port,
+                    host,
+                } => {
+                    let up = switch.forward_up(*src_port, TlpType::MWr64, chunk.len, out.arrival);
+                    let rc = host.process_peer_tlp(up, self.domain, chunk.addr, chunk.len);
+                    let down = switch.forward_down(*dst_port, TlpType::MWr64, chunk.len, rc);
+                    let dev_at = peer.link.send_tlp_deferred(
+                        Direction::Downstream,
+                        TlpType::MWr64,
+                        chunk.len,
+                        down,
+                    );
+                    dev_at + switch.config().bar_write_latency
+                }
+                P2pRoute::RootComplex { host } => {
+                    let rc = host.process_peer_tlp(out.arrival, self.domain, chunk.addr, chunk.len);
+                    let dev_at = peer.link.send_tlp_deferred(
+                        Direction::Downstream,
+                        TlpType::MWr64,
+                        chunk.len,
+                        rc,
+                    );
+                    dev_at + FLAT_BAR_WRITE_LATENCY
+                }
+            };
+            self.posted_credits.release_at(absorbed);
+            absorbed_last = absorbed_last.max(absorbed);
+            sent_last = out.arrival - prop;
+        }
+        let done = sent_last + self.dev.dma_complete_overhead;
+        self.workers.release_at(done);
+        self.p2p_writes += 1;
+        DmaResult {
+            issued,
+            done,
+            absorbed: absorbed_last,
+        }
+    }
+
+    /// Peer-to-peer DMA read: this engine reads `len` bytes from the
+    /// peer device's BAR window at `addr`. Requests travel the given
+    /// [`P2pRoute`]; completions are formed by the peer's BAR target
+    /// (split by the *peer's* MPS/RCB) and return ID-routed — directly
+    /// through the switch even under ACS redirect, which only
+    /// redirects requests.
+    pub fn p2p_read(
+        &mut self,
+        peer: &mut DeviceEngine,
+        mut route: P2pRoute<'_>,
+        want: SimTime,
+        addr: u64,
+        len: u32,
+    ) -> DmaResult {
+        let issued = self.workers.acquire(want);
+        let prep = issued + self.dev.dma_issue_overhead;
+        let t0 = self.issue_port.reserve(prep, self.dev.issue_gap).end;
+        let cfg = *self.link.config();
+        let peer_cfg = *peer.link.config();
+        let peer_prop = peer.link.timing().propagation;
+        let mut data_done = t0;
+        for chunk in split::split_read_requests(addr, len, cfg.mrrs) {
+            let tag_at = self.read_tags.acquire(t0);
+            let np_at = self.nonposted_credits.acquire(tag_at);
+            let req = self
+                .link
+                .send_tlp_ext(Direction::Upstream, TlpType::MRd64, 0, np_at);
+            self.nonposted_credits
+                .release_at(req.arrival + SimTime::from_ns(5));
+            let bar_read = match &route {
+                P2pRoute::Switch { switch, .. } | P2pRoute::AcsRedirect { switch, .. } => {
+                    switch.config().bar_read_latency
+                }
+                P2pRoute::RootComplex { .. } => FLAT_BAR_READ_LATENCY,
+            };
+            let at_peer = match &mut route {
+                P2pRoute::Switch {
+                    switch,
+                    src_port,
+                    dst_port,
+                } => {
+                    let at =
+                        switch.forward_peer(*src_port, *dst_port, TlpType::MRd64, 0, req.arrival);
+                    peer.link
+                        .send_tlp_deferred(Direction::Downstream, TlpType::MRd64, 0, at)
+                }
+                P2pRoute::AcsRedirect {
+                    switch,
+                    src_port,
+                    dst_port,
+                    host,
+                } => {
+                    let up = switch.forward_up(*src_port, TlpType::MRd64, 0, req.arrival);
+                    let rc = host.process_peer_tlp(up, self.domain, chunk.addr, chunk.len);
+                    let down = switch.forward_down(*dst_port, TlpType::MRd64, 0, rc);
+                    peer.link
+                        .send_tlp_deferred(Direction::Downstream, TlpType::MRd64, 0, down)
+                }
+                P2pRoute::RootComplex { host } => {
+                    let rc = host.process_peer_tlp(req.arrival, self.domain, chunk.addr, chunk.len);
+                    peer.link
+                        .send_tlp_deferred(Direction::Downstream, TlpType::MRd64, 0, rc)
+                }
+            };
+            let ready = at_peer + bar_read;
+            // Completions: split by the peer's MPS/RCB, serialised on
+            // the peer's upstream wire (chained manually — deferred
+            // sends are debt-accounted but not FIFO-ratcheted).
+            let mut start = ready;
+            let mut last = ready;
+            for cpl in split::split_completions(chunk.addr, chunk.len, peer_cfg.mps, peer_cfg.rcb) {
+                let t =
+                    peer.link
+                        .send_tlp_deferred(Direction::Upstream, TlpType::CplD, cpl.len, start);
+                start = t.saturating_sub(peer_prop);
+                let back = match &mut route {
+                    P2pRoute::Switch {
+                        switch,
+                        src_port,
+                        dst_port,
+                    }
+                    | P2pRoute::AcsRedirect {
+                        switch,
+                        src_port,
+                        dst_port,
+                        ..
+                    } => switch.forward_peer(*dst_port, *src_port, TlpType::CplD, cpl.len, t),
+                    // Flat: the completion traverses the root complex
+                    // port logic; the request already paid the RC
+                    // pipe, so only wire time is charged here.
+                    P2pRoute::RootComplex { .. } => t,
+                };
+                last = last.max(self.link.send_tlp_deferred(
+                    Direction::Downstream,
+                    TlpType::CplD,
+                    cpl.len,
+                    back,
+                ));
+            }
+            self.read_tags.release_at(last);
+            data_done = data_done.max(last);
+        }
+        let done = data_done + self.dev.internal_copy(len) + self.dev.dma_complete_overhead;
+        self.workers.release_at(done);
+        self.p2p_reads += 1;
+        DmaResult {
+            issued,
+            done,
+            absorbed: done,
+        }
     }
 
     /// Driver-initiated PIO write (doorbell): returns when the device
@@ -580,9 +922,23 @@ impl DeviceEngine {
             .push("dma_reads", self.dma_reads)
             .push("dma_writes", self.dma_writes)
             .push("dma_write_reads", self.dma_write_reads)
-            .push("issue_port_busy_ns", self.issue_port.busy_time().as_ns_f64() as u64)
-            .push("issue_port_queue_ns", self.issue_port.queue_time().as_ns_f64() as u64)
+            .push(
+                "issue_port_busy_ns",
+                self.issue_port.busy_time().as_ns_f64() as u64,
+            )
+            .push(
+                "issue_port_queue_ns",
+                self.issue_port.queue_time().as_ns_f64() as u64,
+            )
             .push("issue_port_reservations", self.issue_port.reservations());
+        if self.p2p_reads + self.p2p_writes > 0 {
+            // Only exported once the engine has issued peer-to-peer
+            // traffic, so flat/host-only snapshots stay byte-identical
+            // to pre-topology builds.
+            engine
+                .push("p2p_reads", self.p2p_reads)
+                .push("p2p_writes", self.p2p_writes);
+        }
 
         let mut gates = CounterGroup::new("device.gates");
         for (prefix, gate) in [
@@ -596,7 +952,11 @@ impl DeviceEngine {
             // gate/metric pair.
             let (a, s, w): (&'static str, &'static str, &'static str) = match prefix {
                 "workers" => ("workers_acquires", "workers_stalls", "workers_wait_ns"),
-                "read_tags" => ("read_tags_acquires", "read_tags_stalls", "read_tags_wait_ns"),
+                "read_tags" => (
+                    "read_tags_acquires",
+                    "read_tags_stalls",
+                    "read_tags_wait_ns",
+                ),
                 "posted_credits" => (
                     "posted_credits_acquires",
                     "posted_credits_stalls",
@@ -607,7 +967,11 @@ impl DeviceEngine {
                     "nonposted_credits_stalls",
                     "nonposted_credits_wait_ns",
                 ),
-                _ => ("cmdif_slots_acquires", "cmdif_slots_stalls", "cmdif_slots_wait_ns"),
+                _ => (
+                    "cmdif_slots_acquires",
+                    "cmdif_slots_stalls",
+                    "cmdif_slots_wait_ns",
+                ),
             };
             gates
                 .push(a, gate.acquires())
@@ -1124,8 +1488,14 @@ mod tests {
         ] {
             assert!(snap.group(comp).is_some(), "missing group {comp}");
         }
-        assert_eq!(snap.group("device.engine").unwrap().get("dma_reads"), Some(1));
-        assert_eq!(snap.group("device.engine").unwrap().get("dma_writes"), Some(1));
+        assert_eq!(
+            snap.group("device.engine").unwrap().get("dma_reads"),
+            Some(1)
+        );
+        assert_eq!(
+            snap.group("device.engine").unwrap().get("dma_writes"),
+            Some(1)
+        );
         // Upstream wire: 1 MRd (24B) + 1 MWr 256B (280B).
         assert_eq!(
             snap.group("link.upstream").unwrap().get("tlp_bytes"),
@@ -1252,7 +1622,8 @@ mod tests {
         assert_eq!(p.host.cache_stats(0).write_allocs, 1);
         let snap = p.telemetry_snapshot("faulty");
         assert_eq!(
-            snap.group("device.errors").and_then(|g| g.get("dropped_writes")),
+            snap.group("device.errors")
+                .and_then(|g| g.get("dropped_writes")),
             Some(1)
         );
         assert!(snap.group("link.replay.upstream").is_some());
@@ -1286,7 +1657,11 @@ mod tests {
             stats.total_ns(Stage::Replay) > 0.0,
             "BER 2e-5 over {n} × 512B reads must inject"
         );
-        let fc = p.link().fault_counters(Direction::Upstream).unwrap().replays
+        let fc = p
+            .link()
+            .fault_counters(Direction::Upstream)
+            .unwrap()
+            .replays
             + p.link()
                 .fault_counters(Direction::Downstream)
                 .unwrap()

@@ -449,7 +449,9 @@ mod tests {
         };
         assert!(plan.is_active());
         let mut inj = Injector::new(plan, 1);
-        let fates: Vec<Decision> = (0..8).map(|_| inj.decide(Direction::Upstream, 192)).collect();
+        let fates: Vec<Decision> = (0..8)
+            .map(|_| inj.decide(Direction::Upstream, 192))
+            .collect();
         assert!(fates[2].dropped && fates.iter().filter(|f| f.dropped).count() == 1);
         assert!(fates[4].poisoned && fates.iter().filter(|f| f.poisoned).count() == 1);
         // The other direction is untouched.
@@ -476,13 +478,15 @@ mod tests {
     fn reset_replays_the_same_stream() {
         let plan = FaultPlan::symmetric_ber(1e-6);
         let mut inj = Injector::new(plan, 123);
-        let first: Vec<Decision> =
-            (0..500).map(|_| inj.decide(Direction::Upstream, 2240)).collect();
+        let first: Vec<Decision> = (0..500)
+            .map(|_| inj.decide(Direction::Upstream, 2240))
+            .collect();
         inj.counters_mut(Direction::Upstream).replays += 9;
         inj.reset();
         assert!(!inj.counters(Direction::Upstream).any());
-        let second: Vec<Decision> =
-            (0..500).map(|_| inj.decide(Direction::Upstream, 2240)).collect();
+        let second: Vec<Decision> = (0..500)
+            .map(|_| inj.decide(Direction::Upstream, 2240))
+            .collect();
         assert_eq!(first, second);
     }
 

@@ -42,6 +42,9 @@ pub struct MemStats {
     pub bytes_written: u64,
     /// TLPs that crossed the socket interconnect.
     pub remote_tlps: u64,
+    /// Peer-to-peer TLPs validated by the root complex (flat-attach
+    /// P2P and ACS redirect; see `pcie-topo`).
+    pub p2p_redirects: u64,
 }
 
 struct Node {
@@ -161,6 +164,12 @@ impl HostSystem {
             .push("bytes_read", self.stats.bytes_read)
             .push("bytes_written", self.stats.bytes_written)
             .push("remote_tlps", self.stats.remote_tlps);
+        if self.stats.p2p_redirects > 0 {
+            // Only exported once peer traffic actually crossed the RC,
+            // so host-only snapshots stay byte-identical to
+            // pre-topology builds.
+            mem.push("p2p_redirects", self.stats.p2p_redirects);
+        }
         out.push(mem);
 
         let mut rc = CounterGroup::new("host.rc");
@@ -193,6 +202,7 @@ impl HostSystem {
             let mut g = CounterGroup::new("host.iommu");
             g.push("tlb_hits", s.tlb_hits)
                 .push("tlb_misses", s.tlb_misses)
+                .push("tlb_evictions", s.tlb_evictions)
                 .push("page_walks", s.tlb_misses);
             out.push(g);
         }
@@ -381,6 +391,25 @@ impl HostSystem {
             *e = (*e).max(done);
         }
         done
+    }
+
+    /// Validates a peer-to-peer TLP that was redirected through the
+    /// root complex (flat attach, or ACS redirect at a switch): the
+    /// request occupies the RC service pipe and — when an IOMMU is
+    /// present — is translated like any other inbound request, which
+    /// is the entire point of ACS Source Validation. The target is a
+    /// peer BAR window, not host memory, so no cache or DRAM is
+    /// touched. Returns when the request leaves the RC back towards
+    /// the target device.
+    pub fn process_peer_tlp(&mut self, now: SimTime, domain: u32, addr: u64, len: u32) -> SimTime {
+        self.stats.p2p_redirects += 1;
+        let lat = self.preset.lat;
+        let entry = self.rc.reserve(now, lat.rc_service_gap).start;
+        let mut t = entry + lat.rc_latency;
+        if let Some(iommu) = &mut self.iommu {
+            t = iommu.translate_in(t, domain, addr, len).ready_at;
+        }
+        t
     }
 }
 

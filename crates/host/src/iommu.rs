@@ -27,6 +27,10 @@ pub struct IommuStats {
     pub tlb_hits: u64,
     /// IO-TLB misses (page walks).
     pub tlb_misses: u64,
+    /// Misses that displaced a live entry (the TLB was full) — the
+    /// §6.5 contention signal: a lone device sweeping a working set
+    /// that fits the TLB never evicts, co-located devices do.
+    pub tlb_evictions: u64,
 }
 
 /// The IOMMU model.
@@ -154,6 +158,7 @@ impl Iommu {
         if self.tlb.len() < self.tlb_entries {
             self.tlb.push((domain, page, stamp));
         } else {
+            self.stats.tlb_evictions += 1;
             let victim = self
                 .tlb
                 .iter_mut()

@@ -290,7 +290,9 @@ impl Link {
             } else {
                 end + propagation + propagation
             };
-            let rres = d.timeline.reserve(retry_start, transfer_time(wire_bytes, rate));
+            let rres = d
+                .timeline
+                .reserve(retry_start, transfer_time(wire_bytes, rate));
             end = rres.end;
             d.counters.tlp_bytes += wire_bytes;
         }
@@ -717,7 +719,10 @@ mod tests {
         let t_clean = clean.send_tlp(Direction::Downstream, TlpType::CplD, 64, SimTime::ZERO);
         let a = l.send_tlp_ext(Direction::Downstream, TlpType::CplD, 64, SimTime::ZERO);
         assert!(a.dropped && !a.poisoned);
-        assert_eq!(a.arrival, t_clean, "a drop above the DLL costs no wire time");
+        assert_eq!(
+            a.arrival, t_clean,
+            "a drop above the DLL costs no wire time"
+        );
         let b = l.send_tlp_ext(Direction::Downstream, TlpType::CplD, 64, SimTime::ZERO);
         assert!(b.poisoned && !b.dropped);
         let fc = l.fault_counters(Direction::Downstream).unwrap();

@@ -76,6 +76,10 @@ pub struct LoopbackNic {
     platform: Platform,
     rx_buf: HostBuffer,
     now: SimTime,
+    /// Scratch for [`LoopbackNic::measure_median`]: reused across
+    /// calls so repeated sweeps do not allocate per size point.
+    totals: Vec<f64>,
+    pcies: Vec<f64>,
 }
 
 impl LoopbackNic {
@@ -88,6 +92,8 @@ impl LoopbackNic {
             platform,
             rx_buf,
             now: SimTime::ZERO,
+            totals: Vec::new(),
+            pcies: Vec::new(),
         };
         // The RX ring is polled by the application: resident.
         nic.platform.host.host_warm(&nic.rx_buf, 0, 1 << 20);
@@ -138,19 +144,19 @@ impl LoopbackNic {
     /// Median of `n` measurements at `size` (Fig. 2 plots medians).
     pub fn measure_median(&mut self, size: u32, n: usize) -> LoopbackSample {
         assert!(n > 0);
-        let mut totals: Vec<f64> = Vec::with_capacity(n);
-        let mut pcies: Vec<f64> = Vec::with_capacity(n);
+        self.totals.clear();
+        self.pcies.clear();
         for _ in 0..n {
             let s = self.measure(size);
-            totals.push(s.total_ns);
-            pcies.push(s.pcie_ns);
+            self.totals.push(s.total_ns);
+            self.pcies.push(s.pcie_ns);
         }
-        totals.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        pcies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.totals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.pcies.sort_by(|a, b| a.partial_cmp(b).unwrap());
         LoopbackSample {
             size,
-            total_ns: totals[n / 2],
-            pcie_ns: pcies[n / 2],
+            total_ns: self.totals[n / 2],
+            pcie_ns: self.pcies[n / 2],
         }
     }
 }

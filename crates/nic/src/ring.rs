@@ -85,22 +85,40 @@ impl DescriptorRing {
     /// Producer: claims up to `n` slots; returns the indices claimed
     /// (possibly fewer than `n` if the ring is nearly full).
     pub fn produce(&mut self, n: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.produce_into(n, &mut out);
+        out
+    }
+
+    /// [`DescriptorRing::produce`] writing into caller scratch —
+    /// `out` is cleared, then filled. The hot-path variant: a driver
+    /// loop reuses one `Vec` instead of allocating per batch (the
+    /// `BenchScratch` pattern).
+    pub fn produce_into(&mut self, n: u32, out: &mut Vec<u32>) {
+        out.clear();
         let take = n.min(self.free());
-        let slots = (0..take).map(|i| (self.tail + i) % self.capacity).collect();
+        out.extend((0..take).map(|i| (self.tail + i) % self.capacity));
         self.tail = (self.tail + take) % self.capacity;
         self.produced += take as u64;
         self.max_used = self.max_used.max(self.used());
-        slots
     }
 
     /// Consumer: releases up to `n` used slots; returns the indices
     /// consumed, in order.
     pub fn consume(&mut self, n: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.consume_into(n, &mut out);
+        out
+    }
+
+    /// [`DescriptorRing::consume`] writing into caller scratch (`out`
+    /// is cleared, then filled).
+    pub fn consume_into(&mut self, n: u32, out: &mut Vec<u32>) {
+        out.clear();
         let take = n.min(self.used());
-        let slots = (0..take).map(|i| (self.head + i) % self.capacity).collect();
+        out.extend((0..take).map(|i| (self.head + i) % self.capacity));
         self.head = (self.head + take) % self.capacity;
         self.consumed += take as u64;
-        slots
     }
 
     /// Descriptors produced over the ring's lifetime.
@@ -133,7 +151,15 @@ impl DescriptorRing {
     /// Contiguous byte ranges `(offset, len)` covering `slots` —
     /// adjacent slots coalesce into one DMA, as batching drivers do.
     pub fn dma_ranges(&self, slots: &[u32]) -> Vec<(u64, u32)> {
-        let mut out: Vec<(u64, u32)> = Vec::new();
+        let mut out = Vec::new();
+        self.dma_ranges_into(slots, &mut out);
+        out
+    }
+
+    /// [`DescriptorRing::dma_ranges`] writing into caller scratch
+    /// (`out` is cleared, then filled).
+    pub fn dma_ranges_into(&self, slots: &[u32], out: &mut Vec<(u64, u32)>) {
+        out.clear();
         for &s in slots {
             let off = self.slot_offset(s);
             match out.last_mut() {
@@ -141,7 +167,6 @@ impl DescriptorRing {
                 _ => out.push((off, self.entry_size)),
             }
         }
-        out
     }
 }
 
@@ -231,6 +256,28 @@ mod tests {
         assert_eq!(g.get("consumed"), Some(2));
         assert_eq!(g.get("in_flight"), Some(5));
         assert_eq!(g.get("max_used"), Some(5));
+    }
+
+    #[test]
+    fn into_variants_reuse_scratch_and_match_allocating_api() {
+        let b = buf();
+        let mut r = DescriptorRing::new(&b, 0, 16, 8);
+        let mut shadow = DescriptorRing::new(&b, 0, 16, 8);
+        let mut slots = Vec::new();
+        let mut ranges: Vec<(u64, u32)> = vec![(999, 999); 4]; // stale
+        r.produce_into(4, &mut slots);
+        assert_eq!(slots, shadow.produce(4), "produce_into matches produce");
+        r.dma_ranges_into(&slots, &mut ranges);
+        assert_eq!(ranges, shadow.dma_ranges(&slots), "stale scratch cleared");
+        let cap_slots = slots.capacity();
+        let cap_ranges = ranges.capacity();
+        for _ in 0..100 {
+            r.consume_into(4, &mut slots);
+            r.produce_into(4, &mut slots);
+            r.dma_ranges_into(&slots, &mut ranges);
+        }
+        assert_eq!(slots.capacity(), cap_slots, "steady state: no regrowth");
+        assert_eq!(ranges.capacity(), cap_ranges, "steady state: no regrowth");
     }
 
     #[test]

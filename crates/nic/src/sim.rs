@@ -7,6 +7,7 @@
 //! DDIO ways. The analytic curves of `pcie-model` are the predictions;
 //! this module is the measurement.
 
+use crate::ring::DescriptorRing;
 use pcie_device::{DmaPath, Platform};
 use pcie_host::buffer::BufferAllocator;
 use pcie_host::HostBuffer;
@@ -35,6 +36,14 @@ pub struct NicSim {
     pkt_buf: HostBuffer,
     /// Descriptor rings (small, host-resident, typically cache-hot).
     desc_buf: HostBuffer,
+    /// TX descriptor ring over the low half of `desc_buf`.
+    tx_ring: DescriptorRing,
+    /// RX descriptor ring over the upper half of `desc_buf`.
+    rx_ring: DescriptorRing,
+    /// Hot-path scratch: slot indices claimed/released per batch.
+    slot_scratch: Vec<u32>,
+    /// Hot-path scratch: coalesced DMA ranges per batch.
+    range_scratch: Vec<(u64, u32)>,
 }
 
 impl NicSim {
@@ -47,11 +56,19 @@ impl NicSim {
         let mut alloc = BufferAllocator::default_layout();
         let pkt_buf = alloc.alloc(4 << 20, 0);
         let desc_buf = alloc.alloc(64 * 1024, 0);
+        let desc = params.desc_size.max(1);
+        let cap = 1024.min(16384 / desc).max(2);
+        let tx_ring = DescriptorRing::new(&desc_buf, 0, desc, cap);
+        let rx_ring = DescriptorRing::new(&desc_buf, 16384, desc, cap);
         let mut sim = NicSim {
             params,
             platform,
             pkt_buf,
             desc_buf,
+            tx_ring,
+            rx_ring,
+            slot_scratch: Vec::with_capacity(64),
+            range_scratch: Vec::with_capacity(8),
         };
         // Descriptor rings are written by the driver continuously and
         // stay cache-resident; packet headers likewise for TX.
@@ -69,7 +86,6 @@ impl NicSim {
     pub fn run(&mut self, pkt_size: u32, n: u32) -> NicSimResult {
         assert!((60..=4096).contains(&pkt_size), "unrealistic packet");
         let p = self.params;
-        let desc = p.desc_size;
         let mut last = SimTime::ZERO;
         let pkt_slots = (self.pkt_buf.len() / 2 / 2048) as u32;
         // The NIC keeps a deep but finite pipeline of packets in
@@ -105,26 +121,37 @@ impl NicSim {
                 self.platform.pio_write(lag, 4);
             }
             if i % p.tx_desc_fetch_batch == 0 {
-                self.platform.dma_read(
-                    lag,
-                    &self.desc_buf,
-                    (i % 1024) as u64 * desc as u64,
-                    desc * p.tx_desc_fetch_batch,
-                    DmaPath::DmaEngine,
-                );
+                // The driver enqueues a batch of TX descriptors; the
+                // device fetches the claimed slots (coalesced ranges).
+                self.tx_ring
+                    .produce_into(p.tx_desc_fetch_batch, &mut self.slot_scratch);
+                self.tx_ring
+                    .dma_ranges_into(&self.slot_scratch, &mut self.range_scratch);
+                for &(off, len) in &self.range_scratch {
+                    self.platform
+                        .dma_read(lag, &self.desc_buf, off, len, DmaPath::DmaEngine);
+                }
+                if p.tx_desc_wb_batch == 0 {
+                    // No write-back traffic: the device retires the
+                    // descriptors silently so the ring never fills.
+                    let taken = self.slot_scratch.len() as u32;
+                    self.tx_ring.consume_into(taken, &mut self.slot_scratch);
+                }
             }
             let tx =
                 self.platform
                     .dma_read(want, &self.pkt_buf, tx_off, pkt_size, DmaPath::DmaEngine);
             pkt_done = pkt_done.max(tx.done);
             if p.tx_desc_wb_batch > 0 && i % p.tx_desc_wb_batch == 0 {
-                self.platform.dma_write(
-                    lag,
-                    &self.desc_buf,
-                    8192 + (i % 1024) as u64 * desc as u64,
-                    desc * p.tx_desc_wb_batch,
-                    DmaPath::DmaEngine,
-                );
+                // Completion write-back releases the consumed slots.
+                self.tx_ring
+                    .consume_into(p.tx_desc_wb_batch, &mut self.slot_scratch);
+                self.tx_ring
+                    .dma_ranges_into(&self.slot_scratch, &mut self.range_scratch);
+                for &(off, len) in &self.range_scratch {
+                    self.platform
+                        .dma_write(lag, &self.desc_buf, off, len, DmaPath::DmaEngine);
+                }
             }
 
             // --- RX path (device writes packets to host) ---
@@ -132,26 +159,31 @@ impl NicSim {
                 self.platform.pio_write(lag, 4);
             }
             if i % p.rx_desc_fetch_batch == 0 {
-                self.platform.dma_read(
-                    lag,
-                    &self.desc_buf,
-                    16384 + (i % 1024) as u64 * desc as u64,
-                    desc * p.rx_desc_fetch_batch,
-                    DmaPath::DmaEngine,
-                );
+                // Freelist refill: the driver posts RX descriptors and
+                // the device fetches them.
+                self.rx_ring
+                    .produce_into(p.rx_desc_fetch_batch, &mut self.slot_scratch);
+                self.rx_ring
+                    .dma_ranges_into(&self.slot_scratch, &mut self.range_scratch);
+                for &(off, len) in &self.range_scratch {
+                    self.platform
+                        .dma_read(lag, &self.desc_buf, off, len, DmaPath::DmaEngine);
+                }
             }
             let rx =
                 self.platform
                     .dma_write(want, &self.pkt_buf, rx_off, pkt_size, DmaPath::DmaEngine);
             pkt_done = pkt_done.max(rx.done);
             if i % p.rx_desc_wb_batch == 0 {
-                self.platform.dma_write(
-                    lag,
-                    &self.desc_buf,
-                    24576 + (i % 1024) as u64 * desc as u64,
-                    desc * p.rx_desc_wb_batch,
-                    DmaPath::DmaEngine,
-                );
+                // RX completion write-back releases filled slots.
+                self.rx_ring
+                    .consume_into(p.rx_desc_wb_batch, &mut self.slot_scratch);
+                self.rx_ring
+                    .dma_ranges_into(&self.slot_scratch, &mut self.range_scratch);
+                for &(off, len) in &self.range_scratch {
+                    self.platform
+                        .dma_write(lag, &self.desc_buf, off, len, DmaPath::DmaEngine);
+                }
             }
 
             // --- notifications (shared) ---

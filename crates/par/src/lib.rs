@@ -225,10 +225,7 @@ impl Pool {
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join())
-                .collect::<Vec<_>>()
+            handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
         });
 
         // Reassemble in input order so parallelism is unobservable.
@@ -304,20 +301,27 @@ mod tests {
     #[test]
     fn worker_state_reused_within_a_worker() {
         // Sequential: one worker state sees every job.
-        let (counts, stats) =
-            Pool::sequential().run_with_timed(10, || 0u32, |calls, _i| {
+        let (counts, stats) = Pool::sequential().run_with_timed(
+            10,
+            || 0u32,
+            |calls, _i| {
                 *calls += 1;
                 *calls
-            });
+            },
+        );
         assert_eq!(counts, (1..=10).collect::<Vec<_>>());
         assert_eq!(stats.jobs, 10);
         assert_eq!(stats.workers, 1);
         // Parallel: each worker starts from a fresh state; per-job
         // call counts never exceed the job count and start at 1.
-        let counts = Pool::with_threads(4).run_with(100, || 0u32, |calls, _i| {
-            *calls += 1;
-            *calls
-        });
+        let counts = Pool::with_threads(4).run_with(
+            100,
+            || 0u32,
+            |calls, _i| {
+                *calls += 1;
+                *calls
+            },
+        );
         assert!(counts.iter().all(|&c| (1..=100).contains(&c)));
         assert!(counts.contains(&1));
     }

@@ -143,7 +143,10 @@ impl LatencyHistogram {
             .map(|(i, &c)| (i as u64 * self.bucket_width_ns, c))
             .collect();
         if self.overflow > 0 {
-            out.push((self.buckets.len() as u64 * self.bucket_width_ns, self.overflow));
+            out.push((
+                self.buckets.len() as u64 * self.bucket_width_ns,
+                self.overflow,
+            ));
         }
         out
     }

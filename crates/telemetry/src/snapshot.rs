@@ -169,10 +169,7 @@ impl Snapshot {
             }
         }
         if let Some(st) = &self.stages {
-            out.push_str(&format!(
-                "stage,all,transactions,{}\n",
-                st.transactions
-            ));
+            out.push_str(&format!("stage,all,transactions,{}\n", st.transactions));
             for &(name, total, mean, max) in &st.rows {
                 out.push_str(&format!("stage,{},total_ns,{:.3}\n", name, total));
                 out.push_str(&format!("stage,{},mean_ns,{:.3}\n", name, mean));

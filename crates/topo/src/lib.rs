@@ -1,0 +1,18 @@
+//! # pcie-topo — PCIe switch hierarchies and peer-to-peer routing
+//!
+//! The paper studies devices attached flat to one root complex and
+//! flags multi-device servers as future work (§9). This crate supplies
+//! the missing fabric: a transaction-level switch model ([`Switch`])
+//! with one shared upstream link, per-port ingress flow control,
+//! cut-through forwarding and address-based peer-to-peer TLP routing
+//! (with an ACS-redirect knob forcing P2P through the root complex),
+//! plus the [`Topology`] type `MultiPlatform` uses to pick between
+//! flat attach and switched attach.
+//!
+//! Calibration constants live on [`SwitchConfig`]; see DESIGN.md §9.
+
+mod switch;
+mod topology;
+
+pub use switch::{PortCounters, Switch, SwitchConfig};
+pub use topology::Topology;

@@ -1,0 +1,42 @@
+//! How devices attach to the host: flat on the root complex, or behind
+//! a shared switch.
+
+use crate::switch::Switch;
+
+/// The fabric between a set of devices and the root complex.
+///
+/// `Flat` is the pre-topology configuration — every device link
+/// terminates directly at the root complex, with no intermediate hops
+/// — and is the degenerate case `MultiPlatform` keeps bit-identical
+/// to the pre-`pcie-topo` simulator.
+pub enum Topology {
+    /// All devices hang directly off the root complex.
+    Flat,
+    /// All devices sit behind one switch; device i is on downstream
+    /// port i and the switch's upstream port faces the root complex.
+    /// Boxed so the flat case stays pointer-sized.
+    Switched(Box<Switch>),
+}
+
+impl Topology {
+    /// Whether this is the switch-free root-complex attach.
+    pub fn is_flat(&self) -> bool {
+        matches!(self, Topology::Flat)
+    }
+
+    /// The switch, if any.
+    pub fn switch(&self) -> Option<&Switch> {
+        match self {
+            Topology::Flat => None,
+            Topology::Switched(sw) => Some(sw),
+        }
+    }
+
+    /// Mutable access to the switch, if any.
+    pub fn switch_mut(&mut self) -> Option<&mut Switch> {
+        match self {
+            Topology::Flat => None,
+            Topology::Switched(sw) => Some(sw),
+        }
+    }
+}

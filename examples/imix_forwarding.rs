@@ -45,14 +45,18 @@ fn run(workload: &Workload, label: &str) {
     let mut last = SimTime::ZERO;
     let window = 128usize;
     let mut dones = vec![SimTime::ZERO; window];
+    // Hot-path scratch, reused every batch (no per-packet allocation).
+    let mut slots: Vec<u32> = Vec::new();
+    let mut ranges: Vec<(u64, u32)> = Vec::new();
 
     let mut i = 0u32;
     while i < PKTS {
         let want = dones[(i as usize) % window];
         // Driver replenishes the freelist and fetches a burst of
         // descriptors through the ring (coalesced DMA ranges).
-        let rx_slots = rx_ring.produce(BATCH);
-        for (off, len) in rx_ring.dma_ranges(&rx_slots) {
+        rx_ring.produce_into(BATCH, &mut slots);
+        rx_ring.dma_ranges_into(&slots, &mut ranges);
+        for &(off, len) in &ranges {
             p.dma_read(want, &ring_buf, off, len, DmaPath::DmaEngine);
         }
         p.pio_write(want, 4); // RX tail doorbell
@@ -62,13 +66,15 @@ fn run(workload: &Workload, label: &str) {
             let slot = (i as u64 % 4000) * 2048;
             // RX: packet lands in host memory + descriptor write-back.
             let rx = p.dma_write(want, &pkt_buf, slot, sz, DmaPath::DmaEngine);
-            let wb = rx_ring.consume(1);
-            for (off, len) in rx_ring.dma_ranges(&wb) {
+            rx_ring.consume_into(1, &mut slots);
+            rx_ring.dma_ranges_into(&slots, &mut ranges);
+            for &(off, len) in &ranges {
                 p.dma_write(want, &ring_buf, off, len, DmaPath::DmaEngine);
             }
             // Forwarding: TX reads the same packet back out.
-            let tx_slots = tx_ring.produce(1);
-            for (off, len) in tx_ring.dma_ranges(&tx_slots) {
+            tx_ring.produce_into(1, &mut slots);
+            tx_ring.dma_ranges_into(&slots, &mut ranges);
+            for &(off, len) in &ranges {
                 p.dma_read(
                     want,
                     &ring_buf,
@@ -78,7 +84,7 @@ fn run(workload: &Workload, label: &str) {
                 );
             }
             let tx = p.dma_read(want, &pkt_buf, slot, sz, DmaPath::DmaEngine);
-            tx_ring.consume(1);
+            tx_ring.consume_into(1, &mut slots);
             rx_bytes += sz as u64;
             let done = rx.done.max(tx.done);
             dones[(i as usize) % window] = done;

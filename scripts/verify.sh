@@ -3,11 +3,18 @@
 # network access — the workspace has no external dependencies.
 #
 # Usage: scripts/verify.sh
-# Exits non-zero on the first failure. Clippy is skipped (with a note)
-# when the component is not installed.
+# Exits non-zero on the first failure. Clippy and rustfmt are skipped
+# (with a note) when the component is not installed.
 
 set -eu
 cd "$(dirname "$0")/.."
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "==> cargo fmt --check"
+    cargo fmt --check
+else
+    echo "==> rustfmt not installed; skipping format check"
+fi
 
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace

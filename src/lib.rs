@@ -16,6 +16,9 @@
 //!   `LAT_WRRD`, `BW_RD`, `BW_WR`, `BW_RDWR` over controlled windows,
 //!   transfer sizes, offsets, access patterns, cache states, NUMA
 //!   placements and IOMMU modes (§4–6);
+//! * [`topo`] — PCIe switch hierarchies: shared-upstream switches with
+//!   cut-through forwarding and peer-to-peer TLP routing (with an ACS
+//!   redirect knob), the §9 multi-device fabric;
 //! * [`nic`] — NIC/driver simulations and the Figure 2 loopback
 //!   latency experiment;
 //! * [`par`] — the deterministic scoped worker pool that fans
@@ -51,4 +54,5 @@ pub use pcie_nic as nic;
 pub use pcie_par as par;
 pub use pcie_sim as sim;
 pub use pcie_tlp as tlp;
+pub use pcie_topo as topo;
 pub use pciebench as bench;

@@ -79,7 +79,13 @@ fn telemetry_snapshot_json_is_byte_identical_with_a_none_plan() {
     );
     let clean_json = clean.telemetry.as_ref().unwrap().to_json();
     for setup in faultless_variants(BenchSetup::netfpga_hsw) {
-        let r = run_bandwidth(&setup.with_telemetry(), &p, BwOp::Rd, 1_000, DmaPath::DmaEngine);
+        let r = run_bandwidth(
+            &setup.with_telemetry(),
+            &p,
+            BwOp::Rd,
+            1_000,
+            DmaPath::DmaEngine,
+        );
         let json = r.telemetry.as_ref().unwrap().to_json();
         assert_eq!(clean_json, json, "snapshot JSON must match byte-for-byte");
     }

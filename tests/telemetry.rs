@@ -106,7 +106,8 @@ fn wrrd_wire_counters_are_eq1_plus_eq2_up_and_eq3_down() {
     );
     let snap = r.telemetry.as_ref().expect("telemetry enabled");
     let expected_up = n as u64
-        * (model::dma_write_bytes(&link, transfer) + model::dma_read_request_bytes(&link, transfer));
+        * (model::dma_write_bytes(&link, transfer)
+            + model::dma_read_request_bytes(&link, transfer));
     assert_eq!(
         snap.group("link.upstream").unwrap().get("tlp_bytes"),
         Some(expected_up)
@@ -228,7 +229,146 @@ fn host_cache_counters_track_cache_state() {
     let cold_snap = cold.telemetry.as_ref().unwrap();
     let cold_cache = cold_snap.group("host.cache.node0").expect("cache group");
     assert!(cold_cache.get("read_misses").unwrap() > 0);
-    assert!(cold_snap.group("host.dram.node0").unwrap().get("lines_read").unwrap() > 0);
+    assert!(
+        cold_snap
+            .group("host.dram.node0")
+            .unwrap()
+            .get("lines_read")
+            .unwrap()
+            > 0
+    );
+}
+
+#[test]
+fn topo_port_counters_reconcile_with_uplink_wire_bytes() {
+    // Under a switch, the shared upstream link must carry exactly the
+    // sum of what the downstream ports forwarded — and each port's
+    // share must itself be the Eq. 1/Eq. 2 byte budget of its device's
+    // transfers (aligned geometry, so the splits match the model).
+    use pcie_bench_repro::device::{DeviceParams, DmaPath, MultiPlatform};
+    use pcie_bench_repro::host::buffer::BufferAllocator;
+    use pcie_bench_repro::host::presets::HostPreset;
+    use pcie_bench_repro::host::HostSystem;
+    use pcie_bench_repro::link::{Direction, LinkTiming};
+    use pcie_bench_repro::model::LinkConfig;
+    use pcie_bench_repro::sim::SimTime;
+    use pcie_bench_repro::topo::SwitchConfig;
+
+    let devices = 3usize;
+    let link = LinkConfig::gen3_x8();
+    let mut alloc = BufferAllocator::default_layout();
+    let bufs: Vec<_> = (0..devices).map(|_| alloc.alloc(1 << 20, 0)).collect();
+    let mut host = HostSystem::new(HostPreset::netfpga_hsw(), 11);
+    for b in &bufs {
+        host.host_warm(b, 0, 1 << 20);
+    }
+    let mut p = MultiPlatform::homogeneous_switched(
+        devices,
+        DeviceParams::netfpga(),
+        link,
+        LinkTiming::default(),
+        host,
+        SwitchConfig::gen3_x8(),
+    );
+    // Device d issues `n[d]` writes and `n[d]` reads of `sz[d]` bytes.
+    let n = [40u64, 25, 10];
+    let sz = [256u32, 512, 1024];
+    for (d, b) in bufs.iter().enumerate() {
+        for i in 0..n[d] {
+            let off = (i * 4096) % ((1 << 20) - 4096);
+            p.dma_write(d, SimTime::ZERO, b, off, sz[d], DmaPath::DmaEngine);
+            p.dma_read(d, SimTime::ZERO, b, off, sz[d], DmaPath::DmaEngine);
+        }
+    }
+    let sw = p.switch().expect("switched");
+    let mut sum_up = 0u64;
+    let mut sum_down = 0u64;
+    for d in 0..devices {
+        let c = sw.port_counters(d);
+        // Up: Eq. 1 (posted writes) + Eq. 2 (read requests).
+        assert_eq!(
+            c.up_bytes,
+            n[d] * (model::dma_write_bytes(&link, sz[d])
+                + model::dma_read_request_bytes(&link, sz[d])),
+            "port {d} host-bound bytes"
+        );
+        // Down: Eq. 3 (completions with data).
+        assert_eq!(
+            c.down_bytes,
+            n[d] * model::dma_read_completion_bytes(&link, sz[d]),
+            "port {d} host-originated bytes"
+        );
+        assert_eq!(c.rr_grants, c.up_tlps, "one grant per host-bound TLP");
+        sum_up += c.up_bytes;
+        sum_down += c.down_bytes;
+    }
+    assert_eq!(
+        sw.uplink().counters(Direction::Upstream).tlp_bytes,
+        sum_up,
+        "upstream wire bytes == sum of downstream ports' host-bound bytes"
+    );
+    assert_eq!(
+        sw.uplink().counters(Direction::Downstream).tlp_bytes,
+        sum_down,
+        "downstream wire bytes == sum of ports' host-originated bytes"
+    );
+    // The snapshot exposes the same ledger.
+    let snap = p.telemetry_snapshot("switched");
+    let uplink = snap.group("topo.uplink.upstream").expect("uplink group");
+    assert_eq!(uplink.get("tlp_bytes"), Some(sum_up));
+    for d in 0..devices {
+        let port = snap.group(&format!("topo.port{d}")).expect("port group");
+        assert_eq!(port.get("up_bytes"), Some(sw.port_counters(d).up_bytes));
+    }
+}
+
+#[test]
+fn p2p_bytes_never_touch_the_uplink() {
+    // Peer-to-peer traffic with ACS off crosses only the crossbar: the
+    // port counters record it, the upstream link carries none of it.
+    use pcie_bench_repro::device::{DeviceParams, MultiPlatform};
+    use pcie_bench_repro::host::presets::HostPreset;
+    use pcie_bench_repro::host::HostSystem;
+    use pcie_bench_repro::link::{Direction, LinkTiming};
+    use pcie_bench_repro::model::LinkConfig;
+    use pcie_bench_repro::sim::SimTime;
+    use pcie_bench_repro::topo::SwitchConfig;
+
+    let link = LinkConfig::gen3_x8();
+    let mut p = MultiPlatform::homogeneous_switched(
+        2,
+        DeviceParams::netfpga(),
+        link,
+        LinkTiming::default(),
+        HostSystem::new(HostPreset::netfpga_hsw(), 23),
+        SwitchConfig::gen3_x8(),
+    );
+    let n = 30u64;
+    let sz = 512u32;
+    for i in 0..n {
+        p.p2p_write(0, 1, SimTime::ZERO, i * 4096, sz);
+    }
+    let sw = p.switch().unwrap();
+    // Eq. 1 on the crossbar: src port saw the bytes in, dst port out.
+    let eq1 = n * model::dma_write_bytes(&link, sz);
+    assert_eq!(sw.port_counters(0).p2p_in_bytes, eq1);
+    assert_eq!(sw.port_counters(1).p2p_out_bytes, eq1);
+    // And none of it on the shared upstream port.
+    for dir in [Direction::Upstream, Direction::Downstream] {
+        assert_eq!(sw.uplink().counters(dir).tlps, 0, "{dir:?}");
+    }
+    assert_eq!(p.host.stats().p2p_redirects, 0, "no root-complex bounce");
+    // The snapshot's port groups carry the P2P ledger, and the device
+    // engine reports its P2P ops.
+    let snap = p.telemetry_snapshot("p2p");
+    let src = snap.group("topo.port0").expect("port0 group");
+    assert_eq!(src.get("p2p_in_bytes"), Some(eq1));
+    assert_eq!(
+        snap.group("topo.uplink.upstream").unwrap().get("tlps"),
+        Some(0)
+    );
+    let eng = snap.group("dev0.device.engine").expect("engine group");
+    assert_eq!(eng.get("p2p_writes"), Some(n));
 }
 
 #[test]

@@ -6,9 +6,7 @@
 //! ever became shared between workers, cross-talk would break both
 //! properties immediately.
 
-use pcie_bench_repro::bench::{
-    run_latency, BenchParams, BenchSetup, CacheState, LatOp, Pattern,
-};
+use pcie_bench_repro::bench::{run_latency, BenchParams, BenchSetup, CacheState, LatOp, Pattern};
 use pcie_bench_repro::device::DmaPath;
 use pcie_bench_repro::host::presets::NumaPlacement;
 use pcie_bench_repro::par::Pool;
@@ -61,8 +59,7 @@ fn stage_sums_reconcile_on_the_pool() {
         assert_eq!(st.transactions, N as u64, "{op:?}/{sz}");
         // Stage attribution reconciles with the end-to-end histogram.
         assert!(
-            (st.stage_total_ns() - st.end_to_end_total_ns).abs()
-                < 1e-6 * st.end_to_end_total_ns,
+            (st.stage_total_ns() - st.end_to_end_total_ns).abs() < 1e-6 * st.end_to_end_total_ns,
             "{op:?}/{sz}: stage sum {} vs end-to-end {}",
             st.stage_total_ns(),
             st.end_to_end_total_ns

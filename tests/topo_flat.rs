@@ -1,0 +1,187 @@
+//! Pins the topology equivalence invariant: a flat [`MultiPlatform`]
+//! (no switch) is *bit-identical* to the plain single-device
+//! [`Platform`] path. The topology subsystem may exist, but with a
+//! flat attach it must not perturb a single timestamp, byte count, or
+//! telemetry line — the contract that lets every previously-pinned
+//! paper number survive the switch subsystem unchanged.
+//!
+//! The switched path, by contrast, must *differ* (cut-through latency
+//! is real) — but by a bounded, explainable amount.
+
+use pcie_bench_repro::device::{DeviceParams, DmaPath, MultiPlatform, Platform};
+use pcie_bench_repro::host::buffer::BufferAllocator;
+use pcie_bench_repro::host::presets::HostPreset;
+use pcie_bench_repro::host::{HostBuffer, HostSystem};
+use pcie_bench_repro::link::{Direction, LinkTiming};
+use pcie_bench_repro::model::LinkConfig;
+use pcie_bench_repro::sim::SimTime;
+use pcie_bench_repro::topo::SwitchConfig;
+
+const SEED: u64 = 314;
+
+fn fresh_host(warm: &HostBuffer) -> HostSystem {
+    let mut host = HostSystem::new(HostPreset::netfpga_hsw(), SEED);
+    host.host_warm(warm, 0, warm.len());
+    host
+}
+
+fn buf() -> HostBuffer {
+    BufferAllocator::default_layout().alloc(1 << 20, 0)
+}
+
+/// The mixed op sequence both paths replay: reads and writes across
+/// sizes, alignments and paths.
+const OPS: &[(bool, u64, u32)] = &[
+    (true, 0, 64),
+    (false, 4096, 256),
+    (true, 8192 + 128, 1024),
+    (false, 64, 64),
+    (true, 1 << 19, 1500),
+    (false, (1 << 19) + 192, 512),
+    (true, 300, 257),
+];
+
+#[test]
+fn flat_multiplatform_is_bit_identical_to_platform() {
+    let b = buf();
+    let mut plain = Platform::new(
+        DeviceParams::netfpga(),
+        fresh_host(&b),
+        LinkConfig::gen3_x8(),
+        LinkTiming::default(),
+    );
+    let b2 = buf();
+    let mut multi = MultiPlatform::homogeneous(
+        1,
+        DeviceParams::netfpga(),
+        LinkConfig::gen3_x8(),
+        LinkTiming::default(),
+        fresh_host(&b2),
+    );
+    for &(read, off, sz) in OPS {
+        let (a, m) = if read {
+            (
+                plain.dma_read(SimTime::ZERO, &b, off, sz, DmaPath::DmaEngine),
+                multi.dma_read(0, SimTime::ZERO, &b2, off, sz, DmaPath::DmaEngine),
+            )
+        } else {
+            (
+                plain.dma_write(SimTime::ZERO, &b, off, sz, DmaPath::DmaEngine),
+                multi.dma_write(0, SimTime::ZERO, &b2, off, sz, DmaPath::DmaEngine),
+            )
+        };
+        // Exact SimTime equality: same event sequence, same clock.
+        assert_eq!(a.issued, m.issued, "issued @({off}, {sz})");
+        assert_eq!(a.done, m.done, "done @({off}, {sz})");
+        assert_eq!(a.absorbed, m.absorbed, "absorbed @({off}, {sz})");
+    }
+    // And the wire saw byte-for-byte the same traffic.
+    for dir in [Direction::Upstream, Direction::Downstream] {
+        let pa = plain.link().counters(dir);
+        let ma = multi.engine(0).link().counters(dir);
+        assert_eq!(pa.tlps, ma.tlps, "{dir:?} tlps");
+        assert_eq!(pa.tlp_bytes, ma.tlp_bytes, "{dir:?} tlp bytes");
+        assert_eq!(pa.payload_bytes, ma.payload_bytes, "{dir:?} payload");
+        assert_eq!(pa.dllps, ma.dllps, "{dir:?} dllps");
+        assert_eq!(pa.dllp_bytes, ma.dllp_bytes, "{dir:?} dllp bytes");
+    }
+    assert!(multi.topology().is_flat());
+    assert!(multi.switch().is_none());
+    // No topology groups may leak into a flat snapshot.
+    let json = multi.telemetry_snapshot("flat").to_json();
+    assert!(!json.contains("topo."), "topo groups leaked: {json}");
+}
+
+#[test]
+fn switched_single_device_differs_from_flat_by_bounded_overhead() {
+    let b = buf();
+    let mut flat = MultiPlatform::homogeneous(
+        1,
+        DeviceParams::netfpga(),
+        LinkConfig::gen3_x8(),
+        LinkTiming::default(),
+        fresh_host(&b),
+    );
+    let b2 = buf();
+    let sw_cfg = SwitchConfig::gen3_x8();
+    let mut switched = MultiPlatform::homogeneous_switched(
+        1,
+        DeviceParams::netfpga(),
+        LinkConfig::gen3_x8(),
+        LinkTiming::default(),
+        fresh_host(&b2),
+        sw_cfg,
+    );
+    let f = flat.dma_read(0, SimTime::ZERO, &b, 0, 64, DmaPath::DmaEngine);
+    let s = switched.dma_read(0, SimTime::ZERO, &b2, 0, 64, DmaPath::DmaEngine);
+    // Guard: the switch path must not silently degenerate to flat.
+    assert!(
+        s.done > f.done,
+        "a switch hop adds latency: flat {:?} vs switched {:?}",
+        f.done,
+        s.done
+    );
+    // Request and completion each cross the switch once: two
+    // cut-through delays plus two uplink serialisations, well under
+    // 2us extra for a 64B read.
+    let extra = s.done - f.done;
+    assert!(
+        extra >= sw_cfg.cut_through + sw_cfg.cut_through,
+        "both crossings pay cut-through: extra {extra:?}"
+    );
+    assert!(
+        extra < SimTime::from_us(2),
+        "switch overhead is bounded: extra {extra:?}"
+    );
+    // The uplink carried exactly the downstream port's traffic.
+    let sw = switched.switch().unwrap();
+    assert_eq!(
+        sw.uplink().counters(Direction::Upstream).tlp_bytes,
+        sw.port_counters(0).up_bytes
+    );
+}
+
+#[test]
+fn switch_p2p_beats_the_acs_bounce() {
+    let mk = |acs: bool| {
+        let host = HostSystem::new(HostPreset::netfpga_hsw(), SEED);
+        let cfg = if acs {
+            SwitchConfig::gen3_x8().with_acs_redirect()
+        } else {
+            SwitchConfig::gen3_x8()
+        };
+        MultiPlatform::homogeneous_switched(
+            2,
+            DeviceParams::netfpga(),
+            LinkConfig::gen3_x8(),
+            LinkTiming::default(),
+            host,
+            cfg,
+        )
+    };
+    for sz in [64u32, 512] {
+        let p2p = mk(false).p2p_read(0, 1, SimTime::ZERO, 0, sz).latency();
+        let acs = mk(true).p2p_read(0, 1, SimTime::ZERO, 0, sz).latency();
+        assert!(
+            p2p < acs,
+            "{sz}B: switch-forwarded P2P {p2p:?} must beat ACS redirect {acs:?}"
+        );
+    }
+    // Writes too, and the redirect is visible at the root complex.
+    let mut acs_p = mk(true);
+    acs_p.p2p_write(0, 1, SimTime::ZERO, 0, 256);
+    assert!(acs_p.host.stats().p2p_redirects > 0);
+    let mut p2p_p = mk(false);
+    p2p_p.p2p_write(0, 1, SimTime::ZERO, 0, 256);
+    assert_eq!(p2p_p.host.stats().p2p_redirects, 0);
+    assert_eq!(
+        p2p_p
+            .switch()
+            .unwrap()
+            .uplink()
+            .counters(Direction::Upstream)
+            .tlps,
+        0,
+        "pure P2P never crosses the upstream port"
+    );
+}
