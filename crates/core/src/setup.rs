@@ -135,6 +135,32 @@ impl BenchSetup {
         self.with_faults(FaultPlan::symmetric_ber(ber))
     }
 
+    /// Instantiates a bare platform with the commodity-NIC DMA-engine
+    /// device profile ([`DeviceParams::nic_dma_engine`]) on this
+    /// setup's host/link/IOMMU/fault configuration — the substrate the
+    /// driver interaction patterns (`pcie-drivers`) and `pcie-nic`
+    /// simulations build their rings and buffers on. The setup's
+    /// micro-benchmark device (NFP/NetFPGA) is deliberately not used:
+    /// NIC DMA engines stream from deep descriptor queues rather than
+    /// parking a firmware worker per round trip.
+    pub fn build_nic_platform(&self) -> Platform {
+        let mut host = HostSystem::new(self.preset.clone(), self.seed);
+        host.set_iommu(match self.iommu {
+            IommuMode::Off => None,
+            IommuMode::FourK => Some(Iommu::intel_4k()),
+            IommuMode::SuperPages => Some(Iommu::intel_superpages()),
+        });
+        let mut platform =
+            Platform::new(DeviceParams::nic_dma_engine(), host, self.link, self.timing);
+        if self.fault.is_active() {
+            platform.set_fault_plan(&self.fault, self.seed);
+        }
+        if self.telemetry {
+            platform.enable_telemetry();
+        }
+        platform
+    }
+
     /// Instantiates the platform and host buffer for `params`,
     /// applying NUMA placement, IOMMU mode and cache warming.
     pub fn build(&self, params: &BenchParams) -> (Platform, HostBuffer) {

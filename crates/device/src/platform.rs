@@ -147,6 +147,7 @@ pub struct DeviceEngine {
     dma_reads: u64,
     dma_writes: u64,
     dma_write_reads: u64,
+    msi_writes: u64,
     p2p_reads: u64,
     p2p_writes: u64,
     /// AER-style error counters; only exported as a telemetry group
@@ -180,6 +181,7 @@ impl DeviceEngine {
             dma_reads: 0,
             dma_writes: 0,
             dma_write_reads: 0,
+            msi_writes: 0,
             p2p_reads: 0,
             p2p_writes: 0,
             errors: DeviceErrorCounters::default(),
@@ -835,6 +837,30 @@ impl DeviceEngine {
         }
     }
 
+    /// Raises an MSI/MSI-X interrupt: a 4-byte posted memory write of
+    /// the message data to the vector's address (`buf`/`offset` stands
+    /// in for the interrupt controller's doorstep — Eq. 1 accounts it
+    /// as one `MWr` of 4 B upstream). The write serialises on the same
+    /// upstream wire and posted-credit gate as packet data, so under
+    /// load an interrupt *costs* bandwidth, exactly as §3 budgets.
+    /// Returns when the root complex absorbs the message — the instant
+    /// the interrupt is visible to the CPU's interrupt controller.
+    pub fn msi(
+        &mut self,
+        host: &mut HostSystem,
+        want: SimTime,
+        buf: &HostBuffer,
+        offset: u64,
+    ) -> SimTime {
+        // MSI messages come from the device's interrupt block, not a
+        // descriptor-driven worker: no worker slot, but the issue port
+        // and posted machinery are shared with the data path.
+        let (_, absorbed) =
+            self.write_inner_via(host, None, want, buf, offset, 4, DmaPath::DmaEngine);
+        self.msi_writes += 1;
+        absorbed
+    }
+
     /// Driver-initiated PIO write (doorbell): returns when the device
     /// sees it.
     pub fn pio_write(&mut self, now: SimTime, len: u32) -> SimTime {
@@ -931,6 +957,12 @@ impl DeviceEngine {
                 self.issue_port.queue_time().as_ns_f64() as u64,
             )
             .push("issue_port_reservations", self.issue_port.reservations());
+        if self.msi_writes > 0 {
+            // Only exported once the device has raised interrupts, so
+            // interrupt-free snapshots stay byte-identical to pre-MSI
+            // builds.
+            engine.push("msi_writes", self.msi_writes);
+        }
         if self.p2p_reads + self.p2p_writes > 0 {
             // Only exported once the engine has issued peer-to-peer
             // traffic, so flat/host-only snapshots stay byte-identical
@@ -1103,6 +1135,11 @@ impl Platform {
     /// Driver-initiated PIO write (doorbell).
     pub fn pio_write(&mut self, now: SimTime, len: u32) -> SimTime {
         self.engine.pio_write(now, len)
+    }
+
+    /// Raises an MSI/MSI-X interrupt (see [`DeviceEngine::msi`]).
+    pub fn msi(&mut self, want: SimTime, buf: &HostBuffer, offset: u64) -> SimTime {
+        self.engine.msi(&mut self.host, want, buf, offset)
     }
 
     /// Configuration-space read (see [`DeviceEngine::cfg_read`]).

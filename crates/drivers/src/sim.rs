@@ -1,0 +1,1039 @@
+//! The driver simulation proper: one state machine, four patterns.
+//!
+//! [`DriverSim`] drives a live [`Platform`] (built via
+//! `BenchSetup::build_nic_platform` in `pcie-core`) through the full
+//! RX → software → TX echo path of a single-core driver. All four
+//! [`DriverPattern`]s share the same device-side machinery — payload
+//! DMA writes, completion write-backs, descriptor fetches, doorbells —
+//! issued through the same `pcie-device` ports and credit gates as
+//! every other simulation in the workspace. Only the *notification*
+//! edge (MSI vs. memory polling) and the per-packet software costs
+//! differ, so differences in the results are attributable to the
+//! interaction pattern, not to a forked hot path.
+//!
+//! # Timing model
+//!
+//! The simulation is event-driven in virtual time. Each delivered
+//! packet walks six telescoping stages (see
+//! `pcie_telemetry::DriverStage`):
+//!
+//! 1. `rx_dma` — wire arrival to host-memory visibility (payload +
+//!    completion write-back absorbed by the root complex).
+//! 2. `notify` — visibility to driver awareness: MSI delivery +
+//!    hardirq entry (+ optional register read) for interrupt-driven
+//!    patterns; residual poll-loop latency for busy pollers.
+//! 3. `rx_sw` — driver RX processing, serialised on the one core
+//!    (skb / mbuf / XDP verdict / CQE reap).
+//! 4. `app` — application turnaround, including the payload copy for
+//!    patterns without zero-copy delivery.
+//! 5. `tx_post` — TX descriptor publish to doorbell arrival at the
+//!    device (doorbells are batched, so this includes batch wait).
+//! 6. `tx_dma` — doorbell to TX payload read completion on the wire.
+//!
+//! The stage sums reconcile exactly with end-to-end latency per
+//! packet (asserted in tests and by the `ext_drivers` benchmark).
+
+use crate::config::{DriverConfig, DriverPattern, OfferedLoad};
+use pcie_device::{DmaPath, Platform};
+use pcie_host::buffer::BufferAllocator;
+use pcie_host::HostBuffer;
+use pcie_sim::{SimTime, SplitMix64};
+use pcie_telemetry::{CounterGroup, DriverStage, DriverStageSample, DriverStageStats, Snapshot};
+use std::collections::VecDeque;
+
+use self::ring_offsets::{
+    CQ_RING_OFF, DESC_ENTRY, MSI_VECTOR_OFF, RX_RING_OFF, TXWB_OFF, TX_RING_OFF,
+};
+
+/// Descriptor-buffer layout constants shared by the simulation and its
+/// documentation (DESIGN.md §10).
+pub mod ring_offsets {
+    /// RX/fill ring base offset within the descriptor buffer.
+    pub const RX_RING_OFF: u64 = 0;
+    /// TX ring base offset.
+    pub const TX_RING_OFF: u64 = 16 * 1024;
+    /// Completion ring base offset.
+    pub const CQ_RING_OFF: u64 = 32 * 1024;
+    /// MSI/MSI-X vector target address offset.
+    pub const MSI_VECTOR_OFF: u64 = 48 * 1024;
+    /// TX completion write-back cell offset.
+    pub const TXWB_OFF: u64 = 48 * 1024 + 64;
+    /// Descriptor entry size in bytes (16 B, the common hardware
+    /// format: address + length + flags).
+    pub const DESC_ENTRY: u32 = 16;
+}
+
+/// Time between device polls of a host-resident fill/buffer ring when
+/// no doorbell is required (AF_XDP fill ring in need-wakeup mode with
+/// entries available, io_uring registered buffer rings).
+const FILL_POLL: SimTime = SimTime::from_ns(200);
+
+/// Lifetime event counters for one simulation run. Every field is a
+/// plain count; the set is exported as the `driver.<pattern>`
+/// telemetry group by [`DriverSim::snapshot`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DriverCounters {
+    /// Packets offered by the MAC (arrivals, including drops).
+    pub offered: u64,
+    /// Packets delivered through the full RX → app → TX echo path.
+    pub delivered: u64,
+    /// Packets dropped for lack of a posted RX buffer (open-loop
+    /// overload): the AF_XDP fill-ring underrun, the kernel freelist
+    /// empty case.
+    pub fill_underruns: u64,
+    /// Packets whose payload was DMAed but whose completion was lost
+    /// to a full completion queue (io_uring CQ overflow semantics).
+    pub cq_overflows: u64,
+    /// Packets dropped early by the XDP verdict (`XDP_DROP`) — these
+    /// consumed PCIe bandwidth and verdict CPU but skipped delivery.
+    pub early_drops: u64,
+    /// MSI/MSI-X interrupts raised.
+    pub irqs: u64,
+    /// Interrupts fired because the frame-count threshold was met.
+    pub coalesce_frame_fires: u64,
+    /// Interrupts fired by the coalescing timer with a partial batch.
+    pub coalesce_timer_fires: u64,
+    /// Device register (PIO) reads by the driver.
+    pub pio_reads: u64,
+    /// Poll-loop iterations that found at least one packet.
+    pub polls: u64,
+    /// Poll-loop iterations that found nothing (pure CPU burn).
+    pub empty_polls: u64,
+    /// Doorbell (PIO) writes: TX tails and RX/fill tails.
+    pub doorbells: u64,
+    /// RX buffer refill batches posted.
+    pub refills: u64,
+    /// Explicit wakeup doorbells (AF_XDP `XDP_USE_NEED_WAKEUP` path:
+    /// only rung when the device drained the fill ring).
+    pub wakeups: u64,
+    /// Completion-queue entries reaped by the driver (io_uring).
+    pub cqes: u64,
+    /// TX submission batches (one doorbell each).
+    pub tx_batches: u64,
+}
+
+impl DriverCounters {
+    /// All counters as a telemetry group named `driver.<pattern>`.
+    pub fn telemetry_group(&self, pattern: DriverPattern) -> CounterGroup {
+        let mut g = CounterGroup::new(format!("driver.{}", pattern.name()));
+        g.push("offered", self.offered)
+            .push("delivered", self.delivered)
+            .push("fill_underruns", self.fill_underruns)
+            .push("cq_overflows", self.cq_overflows)
+            .push("early_drops", self.early_drops)
+            .push("irqs", self.irqs)
+            .push("coalesce_frame_fires", self.coalesce_frame_fires)
+            .push("coalesce_timer_fires", self.coalesce_timer_fires)
+            .push("pio_reads", self.pio_reads)
+            .push("polls", self.polls)
+            .push("empty_polls", self.empty_polls)
+            .push("doorbells", self.doorbells)
+            .push("refills", self.refills)
+            .push("wakeups", self.wakeups)
+            .push("cqes", self.cqes)
+            .push("tx_batches", self.tx_batches);
+        g
+    }
+
+    /// Total packets dropped (no-buffer + CQ overflow), excluding XDP
+    /// early drops, which are a deliberate program verdict.
+    pub fn dropped(&self) -> u64 {
+        self.fill_underruns + self.cq_overflows
+    }
+}
+
+/// Result of one [`DriverSim::run`].
+#[derive(Debug, Clone, Copy)]
+pub struct DriverRunResult {
+    /// Pattern simulated.
+    pub pattern: DriverPattern,
+    /// Packet size in bytes.
+    pub pkt_size: u32,
+    /// Packets offered.
+    pub offered: u64,
+    /// Packets delivered end-to-end.
+    pub delivered: u64,
+    /// Packets dropped (buffer exhaustion + CQ overflow).
+    pub dropped: u64,
+    /// Packets dropped early by the XDP verdict.
+    pub early_drops: u64,
+    /// Virtual time from first arrival to last TX completion.
+    pub elapsed: SimTime,
+    /// Delivered packets per second, in millions.
+    pub mpps: f64,
+    /// Delivered payload rate in Gb/s.
+    pub gbps: f64,
+    /// Mean end-to-end latency (arrival to TX wire completion), ns.
+    pub mean_ns: f64,
+    /// Median end-to-end latency, ns.
+    pub p50_ns: f64,
+    /// 99th-percentile end-to-end latency, ns.
+    pub p99_ns: f64,
+}
+
+/// One RX packet visible in host memory awaiting driver attention.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    /// Wire arrival time.
+    arr: SimTime,
+    /// Host-memory visibility (payload + completion absorbed).
+    hw: SimTime,
+    /// Packet index (selects the buffer slot).
+    idx: u32,
+}
+
+/// A processed packet awaiting TX issuance, with its stage boundaries.
+#[derive(Debug, Clone, Copy)]
+struct TxItem {
+    p: Pending,
+    /// When the driver became aware of the packet (notify end).
+    aware: SimTime,
+    /// RX software processing end.
+    proc_done: SimTime,
+    /// Application echo end.
+    app_done: SimTime,
+}
+
+/// One phase of a driver/device interaction whose platform
+/// transactions have not been issued yet.
+///
+/// The platform's issue ports and wire timelines are FIFO: a
+/// transaction issued *out of call order* at a future want time pushes
+/// every later-issued earlier-want transaction behind it, which under
+/// load compounds into unbounded artificial queueing. Driver and
+/// device follow-on actions (TX batches, refills) are therefore
+/// *scheduled* when decided and *issued* phase by phase, each phase's
+/// platform calls carrying a want time equal to the phase's own event
+/// time — the same "issue at or behind now" discipline as `NicSim`'s
+/// lag, generalised to an event queue.
+#[derive(Debug, Clone)]
+enum Deferred {
+    /// Driver publishes TX descriptors and rings the doorbell.
+    TxDoorbell {
+        /// The batch, in processing order.
+        items: Vec<TxItem>,
+    },
+    /// The doorbell has arrived; the device fetches the descriptors.
+    TxDescFetch {
+        /// Doorbell arrival at the device (TX-post stage boundary).
+        db_arr: SimTime,
+        /// Coalesced descriptor ranges to fetch.
+        ranges: Vec<(u64, u32)>,
+        /// The batch, carried through to completion.
+        items: Vec<TxItem>,
+    },
+    /// Descriptors fetched; the device streams the payload reads and
+    /// the packets leave on the wire.
+    TxPayload {
+        /// Doorbell arrival (TX-DMA stage base).
+        db_arr: SimTime,
+        /// The batch, carried through to completion.
+        items: Vec<TxItem>,
+    },
+    /// Coalesced TX completion write-back retiring `n` descriptors.
+    TxWriteback {
+        /// Descriptors to retire.
+        n: u32,
+    },
+    /// Driver returns `n` buffers to the free list (+ doorbell).
+    RefillPost {
+        /// Buffers returned.
+        n: u32,
+    },
+    /// Device fetches the refill descriptors; the buffers become
+    /// usable when the fetch completes.
+    RefillFetch {
+        /// Coalesced descriptor ranges to fetch.
+        ranges: Vec<(u64, u32)>,
+        /// Buffers credited on completion.
+        n: u32,
+    },
+}
+
+/// A [`Deferred`] action bound to its event time, ordered for the
+/// min-heap ([`std::cmp::Reverse`]-wrapped) by `(at, seq)` — the
+/// sequence number keeps same-time events FIFO and the whole schedule
+/// deterministic.
+#[derive(Debug, Clone)]
+struct DeferredEvent {
+    at: SimTime,
+    seq: u64,
+    action: Deferred,
+}
+
+impl PartialEq for DeferredEvent {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for DeferredEvent {}
+impl PartialOrd for DeferredEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DeferredEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A driver interaction-pattern simulation bound to a platform.
+///
+/// Build one per (pattern, config) pair, call [`DriverSim::run`], then
+/// [`DriverSim::snapshot`] for telemetry. Runs accumulate: a second
+/// `run` continues on warm rings and merged histograms, which is
+/// intended for multi-size sweeps that want combined stats; build a
+/// fresh sim for independent measurements.
+pub struct DriverSim {
+    /// The pattern being simulated.
+    pub pattern: DriverPattern,
+    /// The knobs in force.
+    pub cfg: DriverConfig,
+    platform: Platform,
+    /// Packet payload buffer: RX slots in the lower half, TX in the
+    /// upper, 2 KiB each.
+    pkt_buf: HostBuffer,
+    /// Descriptor buffer: rings + MSI vector (see [`ring_offsets`]).
+    desc_buf: HostBuffer,
+    /// RX free-list / fill ring (driver produces, device consumes).
+    rx_ring: pcie_nic::DescriptorRing,
+    /// TX ring (driver produces, device consumes).
+    tx_ring: pcie_nic::DescriptorRing,
+    /// Completion ring (device produces, driver consumes).
+    cq_ring: pcie_nic::DescriptorRing,
+    /// RX buffers the *device* currently holds (posted and fetched).
+    buffers_avail: u32,
+    /// Refill batches in flight: (device-visible time, buffer count).
+    refill_events: VecDeque<(SimTime, u32)>,
+    /// Buffers consumed since the last refill batch.
+    consumed_since_refill: u32,
+    /// Packets visible in host memory awaiting driver processing.
+    pending: VecDeque<Pending>,
+    /// Scheduled interaction phases not yet issued to the platform
+    /// (min-heap on event time; see [`Deferred`]).
+    deferred: std::collections::BinaryHeap<std::cmp::Reverse<DeferredEvent>>,
+    /// Monotone sequence for deterministic same-time event ordering.
+    deferred_seq: u64,
+    /// When the driver core becomes free.
+    cpu_free: SimTime,
+    /// Earliest next poll-loop iteration (busy-polling patterns).
+    next_poll: SimTime,
+    /// Payload size of the in-progress [`DriverSim::run`].
+    run_pkt_size: u32,
+    /// Event counters.
+    pub counters: DriverCounters,
+    /// Per-stage latency attribution for delivered packets.
+    pub stages: DriverStageStats,
+    /// XDP verdict stream (forked from the config seed).
+    rng: SplitMix64,
+    /// Latest TX wire completion.
+    done_max: SimTime,
+    slot_scratch: Vec<u32>,
+    range_scratch: Vec<(u64, u32)>,
+}
+
+impl DriverSim {
+    /// Builds a simulation of `pattern` with knobs `cfg` over a
+    /// freshly constructed `platform` (use
+    /// `BenchSetup::build_nic_platform` from `pcie-core`).
+    ///
+    /// # Panics
+    /// On an invalid config (see [`DriverConfig::validate`]).
+    pub fn new(pattern: DriverPattern, cfg: DriverConfig, platform: Platform) -> Self {
+        cfg.validate().expect("invalid driver config");
+        let mut alloc = BufferAllocator::default_layout();
+        let pkt_buf = alloc.alloc(4 << 20, 0);
+        let desc_buf = alloc.alloc(64 * 1024, 0);
+        let cq_cap = match pattern {
+            DriverPattern::IoUring => cfg.cq_size,
+            _ => cfg.ring_size,
+        };
+        let rx_ring =
+            pcie_nic::DescriptorRing::new(&desc_buf, RX_RING_OFF, DESC_ENTRY, cfg.ring_size);
+        let tx_ring =
+            pcie_nic::DescriptorRing::new(&desc_buf, TX_RING_OFF, DESC_ENTRY, cfg.ring_size);
+        let cq_ring = pcie_nic::DescriptorRing::new(&desc_buf, CQ_RING_OFF, DESC_ENTRY, cq_cap);
+        let mut master = SplitMix64::new(cfg.seed);
+        let rng = master.fork();
+        let mut sim = DriverSim {
+            pattern,
+            cfg,
+            platform,
+            pkt_buf,
+            desc_buf,
+            rx_ring,
+            tx_ring,
+            cq_ring,
+            buffers_avail: 0,
+            refill_events: VecDeque::new(),
+            consumed_since_refill: 0,
+            pending: VecDeque::new(),
+            deferred: std::collections::BinaryHeap::new(),
+            deferred_seq: 0,
+            cpu_free: SimTime::ZERO,
+            next_poll: SimTime::ZERO,
+            run_pkt_size: 0,
+            counters: DriverCounters::default(),
+            stages: DriverStageStats::new(),
+            rng,
+            done_max: SimTime::ZERO,
+            slot_scratch: Vec::with_capacity(1024),
+            range_scratch: Vec::with_capacity(8),
+        };
+        // Rings and packet buffers are driver-touched continuously and
+        // stay cache-resident, as in `NicSim`.
+        sim.platform.host.host_warm(&sim.desc_buf, 0, 64 * 1024);
+        sim.platform.host.host_warm(&sim.pkt_buf, 0, 4 << 20);
+        // Initial fill: the driver posts the whole free list before
+        // enabling RX — one tail write, one coalesced descriptor
+        // fetch. Traffic starts only after the fetch completes.
+        let initial = sim.rx_ring.free();
+        sim.rx_ring.produce_into(initial, &mut sim.slot_scratch);
+        sim.counters.doorbells += 1;
+        let t0 = sim.platform.pio_write(SimTime::ZERO, 4);
+        sim.rx_ring
+            .dma_ranges_into(&sim.slot_scratch, &mut sim.range_scratch);
+        let mut done = t0;
+        for i in 0..sim.range_scratch.len() {
+            let (off, len) = sim.range_scratch[i];
+            let r = sim
+                .platform
+                .dma_read(t0, &sim.desc_buf, off, len, DmaPath::DmaEngine);
+            done = done.max(r.done);
+        }
+        sim.buffers_avail = initial;
+        sim.done_max = done;
+        sim
+    }
+
+    /// Offers `n` packets of `pkt_size` bytes under the configured
+    /// load and echoes delivered ones back out the TX path.
+    pub fn run(&mut self, pkt_size: u32, n: u32) -> DriverRunResult {
+        assert!((60..=2048).contains(&pkt_size), "unrealistic packet");
+        assert!(n > 0);
+        self.run_pkt_size = pkt_size;
+        let wire = SimTime::from_ns_f64(pkt_size as f64 * 8.0 / self.cfg.mac_gbps);
+        let inter = match self.cfg.load {
+            OfferedLoad::Saturate => wire,
+            OfferedLoad::OpenLoopGbps(g) => {
+                SimTime::from_ns_f64(pkt_size as f64 * 8.0 / g).max(wire)
+            }
+        };
+        let mut next_arr = SimTime::ZERO;
+        for i in 0..n {
+            let mut arr = next_arr;
+            self.advance_driver(arr);
+            self.apply_refills(arr);
+            if self.buffers_avail == 0 {
+                match self.cfg.load {
+                    OfferedLoad::OpenLoopGbps(_) => {
+                        // Open loop: the wire does not wait. No posted
+                        // buffer means the MAC drops the frame.
+                        self.counters.offered += 1;
+                        self.counters.fill_underruns += 1;
+                        next_arr += inter;
+                        continue;
+                    }
+                    OfferedLoad::Saturate => {
+                        // Closed loop: stall the MAC until the driver
+                        // catches up and a refill lands.
+                        arr = self.wait_for_buffer(arr);
+                        next_arr = arr;
+                    }
+                }
+            }
+            self.counters.offered += 1;
+            self.device_rx(arr, pkt_size, i);
+            next_arr += inter;
+        }
+        // Drain: service everything still pending. Coalescing timers
+        // fire their partial batches here.
+        self.advance_driver(SimTime::MAX);
+
+        let elapsed = self.done_max;
+        let secs = elapsed.as_ns_f64() * 1e-9;
+        let delivered = self.counters.delivered;
+        let e2e = self.stages.end_to_end();
+        DriverRunResult {
+            pattern: self.pattern,
+            pkt_size,
+            offered: self.counters.offered,
+            delivered,
+            dropped: self.counters.dropped(),
+            early_drops: self.counters.early_drops,
+            elapsed,
+            mpps: if secs > 0.0 {
+                delivered as f64 / secs / 1e6
+            } else {
+                0.0
+            },
+            gbps: if elapsed > SimTime::ZERO {
+                delivered as f64 * pkt_size as f64 * 8.0 / elapsed.as_ns_f64()
+            } else {
+                0.0
+            },
+            mean_ns: if delivered > 0 {
+                self.stages.grand_total_ns() / delivered as f64
+            } else {
+                0.0
+            },
+            p50_ns: e2e.quantile_ns(0.50),
+            p99_ns: e2e.quantile_ns(0.99),
+        }
+    }
+
+    /// Full cross-layer telemetry snapshot: the platform's link/host/
+    /// engine groups plus the driver counters, ring counters and the
+    /// six-stage driver latency breakdown.
+    pub fn snapshot(&self, label: impl Into<String>) -> Snapshot {
+        let mut snap = self.platform.telemetry_snapshot(label);
+        snap.add_group(self.counters.telemetry_group(self.pattern));
+        snap.add_group(self.stages.telemetry_group());
+        snap.add_group(self.rx_ring.telemetry_group("rx"));
+        snap.add_group(self.tx_ring.telemetry_group("tx"));
+        snap.add_group(self.cq_ring.telemetry_group("cq"));
+        snap
+    }
+
+    /// Read access to the underlying platform (wire counters etc.).
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    // ----- device side ---------------------------------------------
+
+    /// One packet arriving off the wire at `arr`: consume a posted
+    /// buffer, DMA the payload, write the completion entry.
+    fn device_rx(&mut self, arr: SimTime, pkt_size: u32, idx: u32) {
+        debug_assert!(self.buffers_avail > 0);
+        self.rx_ring.consume_into(1, &mut self.slot_scratch);
+        debug_assert!(!self.slot_scratch.is_empty());
+        self.buffers_avail -= 1;
+
+        let rx_slots = (self.pkt_buf.len() / 2 / 2048) as u32;
+        let rx_off = (idx % rx_slots) as u64 * 2048;
+        let payload =
+            self.platform
+                .dma_write(arr, &self.pkt_buf, rx_off, pkt_size, DmaPath::DmaEngine);
+
+        // Completion entry. A full CQ drops the completion (io_uring
+        // CQ-overflow semantics: the payload DMA already happened —
+        // wasted wire work) and the device silently recycles the frame
+        // to its free list, with no host involvement.
+        if self.cq_ring.free() == 0 {
+            self.counters.cq_overflows += 1;
+            self.rx_ring.produce_into(1, &mut self.slot_scratch);
+            self.buffers_avail += 1;
+            self.done_max = self.done_max.max(payload.done);
+            return;
+        }
+        self.cq_ring.produce_into(1, &mut self.slot_scratch);
+        let cq_off = self.cq_ring.slot_offset(self.slot_scratch[0]);
+        let wb =
+            self.platform
+                .dma_write(arr, &self.desc_buf, cq_off, DESC_ENTRY, DmaPath::DmaEngine);
+        let hw = payload.absorbed.max(wb.absorbed);
+        self.pending.push_back(Pending { arr, hw, idx });
+    }
+
+    /// Blocks (in virtual time) until a posted buffer is available;
+    /// returns the adjusted arrival time.
+    fn wait_for_buffer(&mut self, mut arr: SimTime) -> SimTime {
+        let mut guard = 0u32;
+        while self.buffers_avail == 0 {
+            // The earliest thing that can make progress: a refill
+            // fetch landing, a scheduled interaction phase, or a
+            // notification trigger.
+            let mut next = self.refill_events.iter().map(|&(t, _)| t).min();
+            for cand in [
+                self.deferred.peek().map(|e| e.0.at),
+                self.next_action_time(),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                next = Some(next.map_or(cand, |t: SimTime| t.min(cand)));
+            }
+            let Some(t) = next else {
+                panic!(
+                    "driver deadlock: no buffers, no refills, nothing pending \
+                     (ring_size {}, refill_batch {})",
+                    self.cfg.ring_size, self.cfg.refill_batch
+                );
+            };
+            arr = arr.max(t);
+            self.advance_driver(arr);
+            self.apply_refills(arr);
+            guard += 1;
+            assert!(guard < 1_000_000, "livelock in buffer wait");
+        }
+        arr
+    }
+
+    // ----- driver side ---------------------------------------------
+
+    /// Schedules `action` at `at` on the deferred min-heap.
+    fn schedule(&mut self, at: SimTime, action: Deferred) {
+        let seq = self.deferred_seq;
+        self.deferred_seq += 1;
+        self.deferred
+            .push(std::cmp::Reverse(DeferredEvent { at, seq, action }));
+    }
+
+    /// Runs every driver event — scheduled interaction phases and
+    /// notification triggers — whose time is ≤ `until`, in time order.
+    fn advance_driver(&mut self, until: SimTime) {
+        loop {
+            let trigger = self.next_action_time();
+            let phase = self.deferred.peek().map(|e| e.0.at);
+            match (trigger, phase) {
+                // Scheduled phases win ties: they were decided by an
+                // earlier round.
+                (_, Some(ti)) if ti <= until && trigger.is_none_or(|tt| ti <= tt) => {
+                    let e = self.deferred.pop().unwrap().0;
+                    self.issue(e.at, e.action);
+                }
+                (Some(tt), _) if tt <= until => self.service(tt),
+                _ => break,
+            }
+        }
+    }
+
+    /// When the driver next notices pending work, or `None` if nothing
+    /// is pending.
+    fn next_action_time(&self) -> Option<SimTime> {
+        let first = self.pending.front()?;
+        Some(match self.pattern {
+            DriverPattern::DpdkPoll | DriverPattern::AfXdp => {
+                // The poll loop runs on a fixed-cost iteration grid
+                // starting when the core last went idle; the packet is
+                // noticed by the first iteration at or after its
+                // host-memory visibility.
+                let base = self.next_poll.max(self.cpu_free);
+                poll_tick_at_or_after(base, self.cfg.poll_iter, first.hw)
+            }
+            DriverPattern::KernelIrq | DriverPattern::IoUring => {
+                let frames = self.cfg.irq_coalesce_frames as usize;
+                if self.pending.len() >= frames {
+                    self.pending[frames - 1].hw
+                } else {
+                    first.hw + SimTime::from_us(self.cfg.irq_coalesce_usecs as u64)
+                }
+            }
+        })
+    }
+
+    /// Runs one notification + processing round triggered at `t`.
+    fn service(&mut self, t: SimTime) {
+        self.apply_refills(t);
+        let aware = match self.pattern {
+            DriverPattern::DpdkPoll | DriverPattern::AfXdp => {
+                // Count iterations that found nothing between the last
+                // processing end and this hit (O(1), not simulated
+                // one-by-one).
+                let base = self.next_poll.max(self.cpu_free);
+                if t > base {
+                    let gap = t.saturating_sub(base).as_ns();
+                    self.counters.empty_polls += gap / self.cfg.poll_iter.as_ns().max(1);
+                }
+                self.counters.polls += 1;
+                t + self.cfg.poll_iter
+            }
+            DriverPattern::KernelIrq | DriverPattern::IoUring => {
+                let frames = self.cfg.irq_coalesce_frames as usize;
+                if self.pending.len() >= frames && self.pending[frames - 1].hw <= t {
+                    self.counters.coalesce_frame_fires += 1;
+                } else {
+                    self.counters.coalesce_timer_fires += 1;
+                }
+                self.counters.irqs += 1;
+                // The MSI is a real 4 B posted write through the same
+                // issue port and credit gates as the data path.
+                let msi_at = self.platform.msi(t, &self.desc_buf, MSI_VECTOR_OFF);
+                let mut wake = msi_at + self.cfg.irq_entry;
+                if self.cfg.driver_reads_registers && self.pattern == DriverPattern::KernelIrq {
+                    // Legacy drivers re-read the ring head register
+                    // before trusting write-backs: one PIO round trip
+                    // on the critical path (the paper's §4 LAT_RD
+                    // argument for why drivers should not do this).
+                    wake = self.platform.pio_read(wake, 4);
+                    self.counters.pio_reads += 1;
+                }
+                wake
+            }
+        };
+        let start = aware.max(self.cpu_free);
+
+        // Collect the batch: everything visible by the time the
+        // handler actually runs, bounded by the burst size for the
+        // polling patterns (interrupt handlers drain NAPI-style).
+        let limit = match self.pattern {
+            DriverPattern::DpdkPoll | DriverPattern::AfXdp => self.cfg.burst as usize,
+            DriverPattern::KernelIrq | DriverPattern::IoUring => usize::MAX,
+        };
+        let mut batch = Vec::with_capacity(limit.min(self.pending.len()));
+        while batch.len() < limit {
+            match self.pending.front() {
+                Some(p) if p.hw <= start => batch.push(self.pending.pop_front().unwrap()),
+                _ => break,
+            }
+        }
+        debug_assert!(!batch.is_empty(), "service round found nothing");
+        self.process_batch(start, &batch);
+    }
+
+    /// Driver software: RX processing, app echo, TX submission —
+    /// serialised on the single driver core.
+    fn process_batch(&mut self, aware: SimTime, batch: &[Pending]) {
+        let cfg = self.cfg;
+        let mut t = aware;
+        let mut tx_queue: Vec<TxItem> = Vec::with_capacity(batch.len());
+        for p in batch {
+            self.cq_ring.consume_into(1, &mut self.slot_scratch);
+            if self.pattern == DriverPattern::IoUring {
+                self.counters.cqes += 1;
+            }
+            let (cost, delivered) = match self.pattern {
+                DriverPattern::KernelIrq => (cfg.kernel_rx, true),
+                DriverPattern::DpdkPoll => (cfg.dpdk_rx, true),
+                DriverPattern::AfXdp => {
+                    if cfg.xdp_drop_frac > 0.0 && self.rng.chance(cfg.xdp_drop_frac) {
+                        (cfg.xdp_verdict, false)
+                    } else {
+                        (cfg.xdp_verdict + cfg.afxdp_rx, true)
+                    }
+                }
+                DriverPattern::IoUring => (cfg.iouring_cqe, true),
+            };
+            let proc_done = t + cost;
+            t = proc_done;
+            if !delivered {
+                self.counters.early_drops += 1;
+                continue;
+            }
+            let copy = if self.pattern == DriverPattern::KernelIrq {
+                // The socket path copies the payload to userspace and
+                // back; the three zero-copy patterns skip this.
+                SimTime::from_ns_f64(cfg.copy_ns_per_byte * self.run_pkt_size as f64 * 2.0)
+            } else {
+                SimTime::ZERO
+            };
+            let app_done = proc_done + cfg.app + copy;
+            t = app_done;
+            tx_queue.push(TxItem {
+                p: *p,
+                aware,
+                proc_done,
+                app_done,
+            });
+        }
+        self.cpu_free = t;
+        self.next_poll = t;
+
+        // Schedule (not issue) the device interactions this round
+        // decided on; `advance_driver` issues them when the clock gets
+        // there, in order with the arrival stream.
+        if !tx_queue.is_empty() {
+            self.schedule(self.cpu_free, Deferred::TxDoorbell { items: tx_queue });
+        }
+        // Buffers return to the free list only after the driver has
+        // processed their packets (the frame is in use until then) —
+        // this is what bounds the completion queue in closed loop.
+        self.consumed_since_refill += batch.len() as u32;
+        // Cap the threshold at half the ring so small test rings still
+        // refill before the free list can run dry in closed loop.
+        let threshold = self.cfg.refill_batch.min(self.cfg.ring_size / 2).max(1);
+        if self.consumed_since_refill >= threshold {
+            let n = self.consumed_since_refill;
+            self.consumed_since_refill = 0;
+            self.schedule(self.cpu_free, Deferred::RefillPost { n });
+        }
+    }
+
+    /// Issues one scheduled interaction phase at its event time `at`.
+    /// Every platform call below carries `want == at`, so issuance
+    /// stays chronological with the arrival stream; latency chains
+    /// (doorbell → fetch → payload → write-back) are expressed by
+    /// scheduling the follow-on phase at this phase's completion time.
+    fn issue(&mut self, at: SimTime, action: Deferred) {
+        match action {
+            Deferred::TxDoorbell { items } => {
+                self.counters.tx_batches += 1;
+                self.tx_ring
+                    .produce_into(items.len() as u32, &mut self.slot_scratch);
+                debug_assert_eq!(self.slot_scratch.len(), items.len(), "TX ring full");
+                self.counters.doorbells += 1;
+                let db_arr = self.platform.pio_write(at, 4);
+                self.tx_ring
+                    .dma_ranges_into(&self.slot_scratch, &mut self.range_scratch);
+                let ranges = self.range_scratch.clone();
+                self.schedule(
+                    db_arr,
+                    Deferred::TxDescFetch {
+                        db_arr,
+                        ranges,
+                        items,
+                    },
+                );
+            }
+            Deferred::TxDescFetch {
+                db_arr,
+                ranges,
+                items,
+            } => {
+                let mut desc_done = at;
+                for (off, len) in ranges {
+                    let r =
+                        self.platform
+                            .dma_read(at, &self.desc_buf, off, len, DmaPath::DmaEngine);
+                    desc_done = desc_done.max(r.done);
+                }
+                self.schedule(desc_done, Deferred::TxPayload { db_arr, items });
+            }
+            Deferred::TxPayload { db_arr, items } => {
+                let tx_base = self.pkt_buf.len() / 2;
+                let tx_slots = (self.pkt_buf.len() / 2 / 2048) as u32;
+                let pkt_size = self.run_pkt_size;
+                let n = items.len() as u32;
+                let mut last_done = at;
+                for TxItem {
+                    p,
+                    aware,
+                    proc_done,
+                    app_done,
+                } in items
+                {
+                    let tx_off = tx_base + (p.idx % tx_slots) as u64 * 2048;
+                    let r = self.platform.dma_read(
+                        at,
+                        &self.pkt_buf,
+                        tx_off,
+                        pkt_size,
+                        DmaPath::DmaEngine,
+                    );
+                    last_done = last_done.max(r.done);
+                    let mut sample = DriverStageSample::default();
+                    sample
+                        .set(DriverStage::RxDma, diff_ns(p.hw, p.arr))
+                        .set(DriverStage::Notify, diff_ns(aware, p.hw))
+                        .set(DriverStage::RxSoftware, diff_ns(proc_done, aware))
+                        .set(DriverStage::App, diff_ns(app_done, proc_done))
+                        .set(DriverStage::TxPost, diff_ns(db_arr, app_done))
+                        .set(DriverStage::TxDma, diff_ns(r.done, db_arr));
+                    self.stages.record(&sample);
+                    self.counters.delivered += 1;
+                    self.done_max = self.done_max.max(r.done);
+                }
+                // One TX completion write-back per batch (write-back
+                // coalescing, one of §5's descriptor optimisations).
+                self.schedule(last_done, Deferred::TxWriteback { n });
+            }
+            Deferred::TxWriteback { n } => {
+                let wb = self.platform.dma_write(
+                    at,
+                    &self.desc_buf,
+                    TXWB_OFF,
+                    DESC_ENTRY,
+                    DmaPath::DmaEngine,
+                );
+                self.done_max = self.done_max.max(wb.absorbed);
+                self.tx_ring.consume_into(n, &mut self.slot_scratch);
+            }
+            Deferred::RefillPost { n } => {
+                self.counters.refills += 1;
+                self.rx_ring.produce_into(n, &mut self.slot_scratch);
+                debug_assert_eq!(self.slot_scratch.len() as u32, n, "freelist accounting");
+                let fetch_at = match self.pattern {
+                    DriverPattern::KernelIrq | DriverPattern::DpdkPoll => {
+                        // Tail-pointer doorbell: the device learns
+                        // immediately.
+                        self.counters.doorbells += 1;
+                        self.platform.pio_write(at, 4)
+                    }
+                    DriverPattern::AfXdp => {
+                        // Need-wakeup mode: a doorbell only when the
+                        // device drained the fill ring; otherwise the
+                        // device's fill poller picks the entries up on
+                        // its next pass.
+                        if self.buffers_avail == 0 && self.refill_events.is_empty() {
+                            self.counters.wakeups += 1;
+                            self.platform.pio_write(at, 4)
+                        } else {
+                            at + FILL_POLL
+                        }
+                    }
+                    DriverPattern::IoUring => at + FILL_POLL,
+                };
+                self.rx_ring
+                    .dma_ranges_into(&self.slot_scratch, &mut self.range_scratch);
+                let ranges = self.range_scratch.clone();
+                self.schedule(fetch_at, Deferred::RefillFetch { ranges, n });
+            }
+            Deferred::RefillFetch { ranges, n } => {
+                let mut done = at;
+                for (off, len) in ranges {
+                    let r =
+                        self.platform
+                            .dma_read(at, &self.desc_buf, off, len, DmaPath::DmaEngine);
+                    done = done.max(r.done);
+                }
+                self.refill_events.push_back((done, n));
+            }
+        }
+    }
+
+    /// Credits refill batches whose descriptor fetch completed by
+    /// `now` back to the device. Fetch completions are not guaranteed
+    /// monotone across batches, so this scans the whole (short) queue.
+    fn apply_refills(&mut self, now: SimTime) {
+        let mut credited = 0u32;
+        self.refill_events.retain(|&(t, n)| {
+            if t <= now {
+                credited += n;
+                false
+            } else {
+                true
+            }
+        });
+        self.buffers_avail += credited;
+    }
+}
+
+/// First tick of a `step`-spaced grid anchored at `base` that is at or
+/// after `target`.
+fn poll_tick_at_or_after(base: SimTime, step: SimTime, target: SimTime) -> SimTime {
+    if base >= target {
+        return base;
+    }
+    let gap = target.saturating_sub(base).as_ps();
+    let step_ps = step.as_ps().max(1);
+    let k = gap.div_ceil(step_ps);
+    base.saturating_add(SimTime::from_ps(k.saturating_mul(step_ps)))
+}
+
+/// Non-negative difference in nanoseconds. Stage boundaries are
+/// monotone by construction, so the clamp only guards rounding.
+fn diff_ns(later: SimTime, earlier: SimTime) -> f64 {
+    later.saturating_sub(earlier).as_ns_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PATTERNS;
+    use pciebench::BenchSetup;
+
+    fn sim(pattern: DriverPattern, cfg: DriverConfig) -> DriverSim {
+        DriverSim::new(pattern, cfg, BenchSetup::nfp6000_hsw().build_nic_platform())
+    }
+
+    #[test]
+    fn all_patterns_deliver_everything_in_closed_loop() {
+        for pattern in PATTERNS {
+            let mut s = sim(pattern, DriverConfig::default());
+            let r = s.run(128, 2_000);
+            assert_eq!(r.offered, 2_000, "{}", pattern.name());
+            assert_eq!(r.delivered, 2_000, "{}", pattern.name());
+            assert_eq!(r.dropped, 0, "{}", pattern.name());
+            assert!(r.mpps > 0.0 && r.p99_ns > 0.0, "{}", pattern.name());
+        }
+    }
+
+    #[test]
+    fn stage_sums_telescope_to_end_to_end() {
+        for pattern in PATTERNS {
+            let mut s = sim(pattern, DriverConfig::default());
+            s.run(256, 1_000);
+            let grand = s.stages.grand_total_ns();
+            let per_stage: f64 = pcie_telemetry::DRIVER_STAGES
+                .iter()
+                .map(|&st| s.stages.total_ns(st))
+                .sum();
+            assert!(
+                (grand - per_stage).abs() < 1e-6 * grand.max(1.0),
+                "{}: stages must sum to the grand total",
+                pattern.name()
+            );
+            assert_eq!(s.stages.packets(), 1_000);
+        }
+    }
+
+    #[test]
+    fn polling_beats_interrupts_on_notify_latency() {
+        // Low open-loop rate: queues stay empty, so `notify` isolates
+        // the notification edge itself (poll grid vs. MSI + coalesce).
+        let cfg = DriverConfig::default().with_load(OfferedLoad::OpenLoopGbps(1.0));
+        let mut dpdk = sim(DriverPattern::DpdkPoll, cfg);
+        let mut irq = sim(DriverPattern::KernelIrq, cfg);
+        dpdk.run(64, 2_000);
+        irq.run(64, 2_000);
+        let dpdk_notify = dpdk.stages.mean_ns(DriverStage::Notify);
+        let irq_notify = irq.stages.mean_ns(DriverStage::Notify);
+        assert!(
+            dpdk_notify < irq_notify,
+            "poll notify {dpdk_notify:.0} ns should beat IRQ {irq_notify:.0} ns"
+        );
+        assert!(irq.counters.irqs > 0);
+        assert_eq!(dpdk.counters.irqs, 0, "pollers never interrupt");
+        assert_eq!(dpdk.counters.pio_reads, 0, "pollers never read registers");
+    }
+
+    #[test]
+    fn xdp_early_drops_skip_delivery() {
+        let cfg = DriverConfig {
+            xdp_drop_frac: 0.5,
+            ..DriverConfig::default()
+        };
+        let mut s = sim(DriverPattern::AfXdp, cfg);
+        let r = s.run(64, 4_000);
+        assert_eq!(r.offered, 4_000);
+        assert!(r.early_drops > 1_000 && r.early_drops < 3_000, "~half drop");
+        assert_eq!(r.delivered + r.early_drops, 4_000);
+        // Verdict stream is deterministic per seed.
+        let mut s2 = sim(DriverPattern::AfXdp, cfg);
+        let r2 = s2.run(64, 4_000);
+        assert_eq!(r.early_drops, r2.early_drops);
+        assert_eq!(r.elapsed, r2.elapsed);
+    }
+
+    #[test]
+    fn msi_traffic_shows_in_telemetry_only_for_irq_patterns() {
+        for pattern in PATTERNS {
+            let mut s = sim(pattern, DriverConfig::default());
+            s.run(128, 1_000);
+            let snap = s.snapshot("t");
+            let engine = snap
+                .groups()
+                .iter()
+                .find(|g| g.component == "device.engine")
+                .expect("engine group");
+            if pattern.interrupt_driven() {
+                assert!(
+                    engine.get("msi_writes").unwrap_or(0) > 0,
+                    "{}",
+                    pattern.name()
+                );
+            } else {
+                assert_eq!(engine.get("msi_writes"), None, "{}", pattern.name());
+            }
+            assert!(snap
+                .groups()
+                .iter()
+                .any(|g| g.component == format!("driver.{}", pattern.name())));
+            assert!(snap.groups().iter().any(|g| g.component == "driver.stages"));
+        }
+    }
+
+    #[test]
+    fn saturation_is_reproducible() {
+        for pattern in PATTERNS {
+            let mut a = sim(pattern, DriverConfig::default());
+            let mut b = sim(pattern, DriverConfig::default());
+            let ra = a.run(512, 1_500);
+            let rb = b.run(512, 1_500);
+            assert_eq!(ra.elapsed, rb.elapsed, "{}", pattern.name());
+            assert_eq!(ra.p99_ns, rb.p99_ns, "{}", pattern.name());
+        }
+    }
+}

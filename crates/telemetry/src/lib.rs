@@ -18,6 +18,12 @@
 //!   device-completion`) whose stage contributions sum exactly to the
 //!   end-to-end latency, the simulator's answer to "*where* did the
 //!   400 ns go?" (paper §5–6, Figure 6 discussion);
+//! * [`DriverStage`] / [`DriverStageStats`] — the per-packet driver
+//!   pipeline above the DMA one (`rx_dma → notify → rx_sw → app →
+//!   tx_post → tx_dma`), used by the `pcie-drivers` interaction
+//!   patterns; the six stage contributions likewise sum exactly to the
+//!   packet's end-to-end latency, and its `rx_dma`/`tx_dma` stages
+//!   nest the DMA-level breakdown;
 //! * JSON and CSV export ([`Snapshot::to_json`], [`Snapshot::to_csv`])
 //!   with zero external dependencies, consumed by `repro_report`,
 //!   `pciebench_cli` and the figure binaries.
@@ -48,12 +54,14 @@
 #![warn(missing_docs)]
 
 pub mod counters;
+pub mod driver;
 pub mod hist;
 pub mod json;
 pub mod snapshot;
 pub mod stages;
 
 pub use counters::CounterGroup;
+pub use driver::{DriverStage, DriverStageSample, DriverStageStats, DRIVER_STAGES};
 pub use hist::LatencyHistogram;
 pub use snapshot::{Snapshot, StageReport};
 pub use stages::{Stage, StageSample, StageStats};

@@ -47,14 +47,16 @@ suite_run() {
     add_run "{\"name\":\"$label\",\"tests\":$(field "$line" tests),\"wall_s\":$wall,\"seq_equiv_s\":$(field "$line" seq_equiv_s),\"threads\":$(field "$line" threads),\"tests_per_s\":$(field "$line" tests_per_s)}"
 }
 
-# fig_run <binary> — time one figure regeneration at default scale.
+# fig_run <binary> [args...] — time one figure regeneration at
+# default scale.
 fig_run() {
+    bin=$1; shift
     t0=$(now_ns)
-    PCIE_BENCH_THREADS=$THREADS "./target/release/$1" >/dev/null
+    PCIE_BENCH_THREADS=$THREADS "./target/release/$bin" "$@" >/dev/null
     t1=$(now_ns)
     wall=$(secs "$t0" "$t1")
-    add_run "{\"name\":\"$1\",\"wall_s\":$wall,\"threads\":$THREADS}"
-    echo "==> $1: ${wall}s"
+    add_run "{\"name\":\"$bin\",\"wall_s\":$wall,\"threads\":$THREADS}"
+    echo "==> $bin: ${wall}s"
 }
 
 echo "==> suite quick: sequential vs $THREADS thread(s)"
@@ -74,6 +76,7 @@ fi
 for fig in fig4_baseline_bw fig5_latency_size fig7_cache_ddio fig8_numa fig9_iommu ext_faults; do
     fig_run "$fig"
 done
+fig_run ext_drivers --quick
 
 Q_SPEEDUP=$(ratio "$Q_SEQ" "$Q_PAR")
 

@@ -22,8 +22,8 @@ cargo build --release --workspace
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
-echo "==> cargo doc --no-deps (warnings are errors)"
-RUSTDOCFLAGS="${RUSTDOCFLAGS:--D warnings}" cargo doc --no-deps --quiet
+echo "==> cargo doc --no-deps (warnings are errors, unconditionally)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --all-targets (warnings are errors)"

@@ -21,6 +21,10 @@
 //!   redirect knob), the §9 multi-device fabric;
 //! * [`nic`] — NIC/driver simulations and the Figure 2 loopback
 //!   latency experiment;
+//! * [`drivers`] — the driver interaction-pattern zoo: kernel IRQ
+//!   (MSI coalescing), DPDK busy polling, AF_XDP fill/completion
+//!   rings and io_uring SQ/CQ, all over the same timed platform,
+//!   with six-stage telescoping latency attribution;
 //! * [`par`] — the deterministic scoped worker pool that fans
 //!   independent grid points across cores (`PCIE_BENCH_THREADS`)
 //!   while keeping results bit-identical to a sequential run.
@@ -46,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub use pcie_device as device;
+pub use pcie_drivers as drivers;
 pub use pcie_fault as fault;
 pub use pcie_host as host;
 pub use pcie_link as link;
