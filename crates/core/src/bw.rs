@@ -8,7 +8,6 @@
 //! direction. As in the paper's plots, `BW_RDWR` reports the payload
 //! rate *per direction*.
 
-use crate::access::AccessSequence;
 use crate::params::BenchParams;
 use crate::scratch::BenchScratch;
 use crate::setup::BenchSetup;
@@ -73,9 +72,9 @@ pub fn run_bandwidth(
 }
 
 /// [`run_bandwidth`] journalling through reusable `scratch` buffers —
-/// the full-suite hot path. The access-order permutation (up to one
-/// `u32` per window unit) is recycled across tests instead of
-/// reallocated; results are bit-identical to [`run_bandwidth`].
+/// the full-suite hot path. The access-order stream is replayed from
+/// `scratch`'s memoised cache instead of redrawn per test; results
+/// are bit-identical to [`run_bandwidth`].
 pub fn run_bandwidth_with(
     setup: &BenchSetup,
     params: &BenchParams,
@@ -85,11 +84,10 @@ pub fn run_bandwidth_with(
     scratch: &mut BenchScratch,
 ) -> BwResult {
     assert!(n > 0);
-    let (mut platform, buf) = setup.build(params);
-    let mut seq = AccessSequence::with_buffer(params, setup.seed ^ 0xBA4D, scratch.take_order());
+    let (mut platform, buf) = setup.build_with(params, &mut scratch.cache_pool);
+    let offsets = scratch.orders.offsets(params, setup.seed ^ 0xBA4D, n);
     let mut last = SimTime::ZERO;
-    for i in 0..n {
-        let off = seq.next_offset();
+    for (i, &off) in offsets.iter().enumerate() {
         let r = match op {
             BwOp::Rd => platform.dma_read(SimTime::ZERO, &buf, off, params.transfer, path),
             BwOp::Wr => platform.dma_write(SimTime::ZERO, &buf, off, params.transfer, path),
@@ -105,7 +103,6 @@ pub fn run_bandwidth_with(
         };
         last = last.max(r.done);
     }
-    scratch.put_order(seq.into_buffer());
     let elapsed = last;
     let data_bytes = match op {
         BwOp::Rd | BwOp::Wr => n as u64 * params.transfer as u64,
@@ -122,6 +119,7 @@ pub fn run_bandwidth_with(
     let telemetry = platform
         .telemetry_enabled()
         .then(|| platform.telemetry_snapshot(format!("{}/{}", op.name(), params.transfer)));
+    platform.host.recycle_caches(&mut scratch.cache_pool);
     BwResult {
         op,
         params: *params,

@@ -6,7 +6,6 @@
 //! loop of §5.1. Timestamps are quantised to the device's counter
 //! resolution (19.2 ns on the NFP, 4 ns on the NetFPGA).
 
-use crate::access::AccessSequence;
 use crate::params::BenchParams;
 use crate::scratch::BenchScratch;
 use crate::setup::BenchSetup;
@@ -81,8 +80,11 @@ pub fn run_latency(
     let mut scratch = BenchScratch::new();
     let (platform, _) = measure(setup, params, op, n, path, &mut scratch);
     let samples = std::mem::take(&mut scratch.samples);
-    let sorted = std::mem::take(&mut scratch.sorted);
-    let summary = Summary::from_sorted(&sorted);
+    // Same selection-based constructor as `run_latency_summary`, fed
+    // the same issue-order data, so the two paths agree bit-for-bit.
+    let mut sorted = samples.clone();
+    let summary = Summary::from_unsorted_mut(&mut sorted);
+    sort_samples(&mut sorted);
     let telemetry = platform
         .telemetry_enabled()
         .then(|| platform.telemetry_snapshot(format!("{}/{}", op.name(), params.transfer)));
@@ -98,8 +100,9 @@ pub fn run_latency(
 
 /// Summary-only latency run for the full-suite hot path: journals
 /// into `scratch`'s reusable buffers (pre-sized, recycled across
-/// tests) instead of allocating per test, and sorts once. Produces
-/// exactly the [`Summary`] that [`run_latency`] would.
+/// tests) instead of allocating per test, and extracts percentiles by
+/// selection instead of a full sort. Produces exactly the [`Summary`]
+/// that [`run_latency`] would.
 pub fn run_latency_summary(
     setup: &BenchSetup,
     params: &BenchParams,
@@ -109,12 +112,16 @@ pub fn run_latency_summary(
     scratch: &mut BenchScratch,
 ) -> Summary {
     let _ = measure(setup, params, op, n, path, scratch);
-    Summary::from_sorted(&scratch.sorted)
+    let mut samples = std::mem::take(&mut scratch.samples);
+    let summary = Summary::from_unsorted_mut(&mut samples);
+    scratch.samples = samples;
+    summary
 }
 
-/// The shared measurement loop: fills `scratch.samples` (issue order)
-/// and `scratch.sorted`, returning the platform for telemetry/state
-/// inspection and the last completion time.
+/// The shared measurement loop: fills `scratch.samples` (issue order),
+/// returning the platform for telemetry/state inspection and the last
+/// completion time. The platform's LLC buffers are recycled into the
+/// scratch pool on the way out.
 fn measure(
     setup: &BenchSetup,
     params: &BenchParams,
@@ -124,13 +131,15 @@ fn measure(
     scratch: &mut BenchScratch,
 ) -> (pcie_device::Platform, SimTime) {
     assert!(n > 0);
-    let (mut platform, buf) = setup.build(params);
-    let mut seq = AccessSequence::with_buffer(params, setup.seed ^ 0xACCE55, scratch.take_order());
+    let (mut platform, buf) = setup.build_with(params, &mut scratch.cache_pool);
+    // The access-order stream is a pure function of (geometry,
+    // pattern, seed): replay the memoised prefix instead of redrawing
+    // it for every cell of a sweep that shares those.
+    let offsets = scratch.orders.offsets(params, setup.seed ^ 0xACCE55, n);
     scratch.samples.clear();
     scratch.samples.reserve(n);
     let mut now = SimTime::ZERO;
-    for _ in 0..n {
-        let off = seq.next_offset();
+    for &off in offsets {
         let r = match op {
             LatOp::Rd => platform.dma_read(now, &buf, off, params.transfer, path),
             LatOp::WrRd => platform.dma_write_read(now, &buf, off, params.transfer, path),
@@ -140,10 +149,9 @@ fn measure(
             .push(platform.quantize(r.latency()).as_ns_f64());
         now = r.done + JOURNAL_GAP;
     }
-    scratch.put_order(seq.into_buffer());
-    scratch.sorted.clear();
-    scratch.sorted.extend_from_slice(&scratch.samples);
-    sort_samples(&mut scratch.sorted);
+    // The platform is done simulating: return its LLC line buffers to
+    // the pool (stats survive for telemetry snapshots).
+    platform.host.recycle_caches(&mut scratch.cache_pool);
     (platform, now)
 }
 

@@ -64,6 +64,65 @@ impl Summary {
             max: sorted[count - 1],
         }
     }
+
+    /// Computes a summary by selection instead of sorting: O(n) per
+    /// order statistic via `select_nth_unstable`, reordering `samples`
+    /// in place. This is the benchmark-suite hot path — a 100k-sample
+    /// full sort per grid cell costs more than the simulation of some
+    /// cells.
+    ///
+    /// The percentiles are exactly [`Summary::from_sorted`]'s
+    /// (nearest-rank order statistics select the same elements); the
+    /// mean is summed in the order given, so it can differ from the
+    /// ascending-order sum by float rounding. Callers that must be
+    /// bit-comparable should therefore compare summaries produced by
+    /// the *same* constructor.
+    ///
+    /// # Panics
+    /// If `samples` is empty or contains NaN.
+    pub fn from_unsorted_mut(samples: &mut [f64]) -> Summary {
+        assert!(!samples.is_empty(), "no samples");
+        assert!(samples.iter().all(|x| !x.is_nan()), "NaN sample");
+        let count = samples.len();
+        let avg = samples.iter().sum::<f64>() / count as f64;
+        let (mut min, mut max) = (samples[0], samples[0]);
+        for &s in &samples[1..] {
+            min = min.min(s);
+            max = max.max(s);
+        }
+        // Ascending percentile ranks: each selection partitions the
+        // slice around its rank, so the next (higher) rank only needs
+        // to select inside the upper partition — the value at a given
+        // rank is the same order statistic either way, just found with
+        // far fewer element moves than four full-slice selections.
+        let mut base = 0usize;
+        let mut last = min;
+        let mut q = |p: f64| {
+            let idx = ((count as f64) * p).ceil() as usize;
+            let idx = idx.clamp(1, count) - 1;
+            if base > 0 && idx == base - 1 {
+                // Same rank as the previous (lower) percentile — the
+                // pivot is already known.
+                return last;
+            }
+            let v = *samples[base..]
+                .select_nth_unstable_by(idx - base, |a, b| a.partial_cmp(b).expect("NaN sample"))
+                .1;
+            base = idx + 1;
+            last = v;
+            v
+        };
+        Summary {
+            count,
+            avg,
+            min,
+            median: q(0.50),
+            p95: q(0.95),
+            p99: q(0.99),
+            p999: q(0.999),
+            max,
+        }
+    }
 }
 
 /// Sorts a sample buffer ascending, panicking on NaN — the one
@@ -229,6 +288,33 @@ mod tests {
     #[should_panic(expected = "no samples")]
     fn summary_empty_panics() {
         Summary::from_samples(&[]);
+    }
+
+    #[test]
+    fn from_unsorted_mut_matches_sorting() {
+        let v: Vec<f64> = (0..1000).map(|x| ((x * 7919) % 499) as f64).collect();
+        let sorted_path = Summary::from_samples(&v);
+        let selected = Summary::from_unsorted_mut(&mut v.clone());
+        // Order statistics are identical elements; the mean differs
+        // only by summation-order rounding.
+        assert_eq!(selected.min, sorted_path.min);
+        assert_eq!(selected.median, sorted_path.median);
+        assert_eq!(selected.p95, sorted_path.p95);
+        assert_eq!(selected.p99, sorted_path.p99);
+        assert_eq!(selected.p999, sorted_path.p999);
+        assert_eq!(selected.max, sorted_path.max);
+        assert!((selected.avg - sorted_path.avg).abs() < 1e-9 * sorted_path.avg.abs());
+        // Deterministic: same input, same output, every time.
+        assert_eq!(
+            Summary::from_unsorted_mut(&mut v.clone()),
+            Summary::from_unsorted_mut(&mut v.clone())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN sample")]
+    fn from_unsorted_mut_rejects_nan() {
+        Summary::from_unsorted_mut(&mut [1.0, f64::NAN]);
     }
 
     #[test]

@@ -349,11 +349,29 @@ impl DeviceEngine {
                 issued + c.issue_overhead
             }
         };
-        let cfg = *self.link.config();
+        let mps = self.link.config().mps;
         let prop = self.link.timing().propagation;
         let mut sent_last = t0;
         let mut absorbed_last = t0;
-        for chunk in split::split_write(addr, len, cfg.mps) {
+        if fab.is_none() && !self.link.faults_active() {
+            // Flat fault-free fast path: no drop/poison verdicts, no
+            // switch stage — the same acquire → send → absorb →
+            // release sequence as the loop below, minus its dead
+            // branches.
+            for chunk in split::write_chunks(addr, len, mps) {
+                let p_at = self.posted_credits.acquire(sent_last.max(t0));
+                let arrival =
+                    self.link
+                        .send_tlp(Direction::Upstream, TlpType::MWr64, chunk.len, p_at);
+                let absorbed =
+                    host.process_write_tlp_in(arrival, self.domain, buf, chunk.addr, chunk.len);
+                self.posted_credits.release_at(absorbed);
+                absorbed_last = absorbed_last.max(absorbed);
+                sent_last = arrival - prop;
+            }
+            return (sent_last + self.dev.dma_complete_overhead, absorbed_last);
+        }
+        for chunk in split::write_chunks(addr, len, mps) {
             let p_at = self.posted_credits.acquire(sent_last.max(t0));
             let out = self
                 .link
@@ -466,8 +484,41 @@ impl DeviceEngine {
         path: DmaPath,
     ) -> SimTime {
         let addr = buf.addr(offset);
-        let cfg = *self.link.config();
+        let (mrrs, mps, rcb) = {
+            let cfg = self.link.config();
+            (cfg.mrrs, cfg.mps, cfg.rcb)
+        };
         let mut data_done = t0;
+        if fab.is_none() && !self.link.faults_active() && self.telem.is_none() {
+            // Flat, fault-free, untelemetered: the general loop below
+            // degenerates to exactly this call sequence (every retry
+            // branch is dead, the critical-chunk tracking is unused),
+            // so the scaffolding — retry counters, outcome structs,
+            // per-chunk fabric dispatch — is skipped wholesale. Same
+            // stateful calls in the same order, bit-identical times.
+            for chunk in split::read_request_chunks(addr, len, mrrs) {
+                let tag_at = self.read_tags.acquire(t0);
+                let np_at = self.nonposted_credits.acquire(tag_at);
+                let req = self
+                    .link
+                    .send_tlp(Direction::Upstream, TlpType::MRd64, 0, np_at);
+                self.nonposted_credits.release_at(req + SimTime::from_ns(5));
+                let ready = host.process_read_tlp_in(req, self.domain, buf, chunk.addr, chunk.len);
+                let last = self.link.send_tlp_burst(
+                    Direction::Downstream,
+                    TlpType::CplD,
+                    split::completion_chunks(chunk.addr, chunk.len, mps, rcb).map(|c| c.len),
+                    ready,
+                );
+                self.read_tags.release_at(last);
+                data_done = data_done.max(last);
+            }
+            let internal = match path {
+                DmaPath::DmaEngine => self.dev.internal_copy(len),
+                DmaPath::CommandIf => SimTime::ZERO,
+            };
+            return data_done + internal + self.dev.dma_complete_overhead;
+        }
         // Boundary timestamps of the critical chunk (first_np,
         // np_final, req_arrival, ready) plus its DLL recovery time on
         // the request and completion wires; only tracked when
@@ -475,7 +526,7 @@ impl DeviceEngine {
         // fault terms are zero, so attribution is unchanged.
         let mut critical: Option<(SimTime, SimTime, SimTime, SimTime, SimTime, SimTime)> = None;
         let mut aborted = false;
-        for chunk in split::split_read_requests(addr, len, cfg.mrrs) {
+        for chunk in split::read_request_chunks(addr, len, mrrs) {
             let tag_at = self.read_tags.acquire(t0);
             let mut attempt_start = tag_at;
             let mut first_np: Option<SimTime> = None;
@@ -520,18 +571,36 @@ impl DeviceEngine {
                 let mut cpl_fault = SimTime::ZERO;
                 let mut cpl_dropped = false;
                 let mut cpl_poisoned = false;
-                for cpl in split::split_completions(chunk.addr, chunk.len, cfg.mps, cfg.rcb) {
-                    let at = match fab.as_mut() {
-                        Some((sw, port)) => sw.forward_down(*port, TlpType::CplD, cpl.len, ready),
-                        None => ready,
-                    };
-                    let out =
-                        self.link
-                            .send_tlp_ext(Direction::Downstream, TlpType::CplD, cpl.len, at);
-                    last_arrival = out.arrival;
-                    cpl_fault += out.fault_delay;
-                    cpl_dropped |= out.dropped;
-                    cpl_poisoned |= out.poisoned;
+                if fab.is_none() && !self.link.faults_active() {
+                    // Flat fault-free fast path: the whole completion
+                    // stream leaves the RC at `ready`, so it batches
+                    // into one back-to-back burst (bit-identical to
+                    // the per-TLP loop below).
+                    last_arrival = self.link.send_tlp_burst(
+                        Direction::Downstream,
+                        TlpType::CplD,
+                        split::completion_chunks(chunk.addr, chunk.len, mps, rcb).map(|c| c.len),
+                        ready,
+                    );
+                } else {
+                    for cpl in split::completion_chunks(chunk.addr, chunk.len, mps, rcb) {
+                        let at = match fab.as_mut() {
+                            Some((sw, port)) => {
+                                sw.forward_down(*port, TlpType::CplD, cpl.len, ready)
+                            }
+                            None => ready,
+                        };
+                        let out = self.link.send_tlp_ext(
+                            Direction::Downstream,
+                            TlpType::CplD,
+                            cpl.len,
+                            at,
+                        );
+                        last_arrival = out.arrival;
+                        cpl_fault += out.fault_delay;
+                        cpl_dropped |= out.dropped;
+                        cpl_poisoned |= out.poisoned;
+                    }
                 }
                 if cpl_dropped {
                     // A lost completion is indistinguishable from a
@@ -650,11 +719,11 @@ impl DeviceEngine {
         let staged = issued + self.dev.internal_copy(len);
         let prep = staged + self.dev.dma_issue_overhead;
         let t0 = self.issue_port.reserve(prep, self.dev.issue_gap).end;
-        let cfg = *self.link.config();
+        let mps = self.link.config().mps;
         let prop = self.link.timing().propagation;
         let mut sent_last = t0;
         let mut absorbed_last = t0;
-        for chunk in split::split_write(addr, len, cfg.mps) {
+        for chunk in split::write_chunks(addr, len, mps) {
             let p_at = self.posted_credits.acquire(sent_last.max(t0));
             let out = self
                 .link

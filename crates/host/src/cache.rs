@@ -15,6 +15,25 @@
 //!   only (or don't allocate at all when DDIO is absent, e.g. Xeon E3).
 //! * **The CPU** ([`LlcCache::host_touch`]): allocates anywhere, used
 //!   for cache warming and thrashing.
+//!
+//! ## Representation
+//!
+//! This model sits on the per-TLP hot path (one lookup per 64 B line
+//! of every DMA), so line metadata is split into two parallel arrays:
+//! `keys` (`tag<<2 | dirty<<1 | present`) and `lru` stamps. A probe
+//! scans only the key array — 8 B per way — and loads a line's stamp
+//! only on a tag match, so the dominant read-miss case touches half
+//! the bytes a packed array-of-structs layout would.
+//!
+//! *Validity is epoch-based*: a line is valid iff its present bit is
+//! set **and** its stamp is from the current epoch. That turns
+//! [`LlcCache::clear`] into a counter bump instead of a multi-megabyte
+//! memset, and lets [`CacheStorage`] recycle line buffers between
+//! simulations without zeroing: stale contents are from a dead epoch
+//! and therefore indistinguishable from an empty cache. A stale key
+//! can collide with the probed tag, which is why the match must still
+//! confirm the stamp — but that is a rare extra load, not a per-way
+//! one.
 
 /// Outcome of a DMA read lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,12 +58,50 @@ pub enum WriteOutcome {
     Uncached,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    lru: u64,
+const PRESENT: u64 = 1;
+const DIRTY: u64 = 2;
+
+#[inline]
+fn key_of(tag: u64, dirty: bool) -> u64 {
+    tag << 2 | u64::from(dirty) << 1 | PRESENT
+}
+
+/// 16-bit scan digest of a line tag (multiplicative hash, top bits).
+///
+/// Probes scan a set's digests — 2 B per way instead of the 8 B key —
+/// and load the full key only on a digest match, so the dominant
+/// read-miss case touches a quarter of the bytes. A match is only a
+/// *candidate*: the key + epoch check still decides, so hash
+/// collisions and stale (dead-epoch) digests cost an extra load, never
+/// a wrong outcome.
+#[inline]
+fn digest_of(tag: u64) -> u16 {
+    (tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) as u16
+}
+
+/// Recycled line-buffer pool shared by successive [`LlcCache`]s.
+///
+/// Building a 15 MiB cache means allocating and zeroing ~250k lines;
+/// a benchmark sweep builds one per cell. The pool keeps retired
+/// buffers *and the running LRU stamp*: a cache built from the pool
+/// starts its epoch above every stamp any pooled buffer ever wrote,
+/// so the recycled contents are dead on arrival and need no zeroing.
+#[derive(Debug, Default)]
+pub struct CacheStorage {
+    bufs: Vec<(Vec<u64>, Vec<u64>, Vec<u16>)>,
+    stamp: u64,
+}
+
+impl CacheStorage {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffers currently pooled (diagnostics).
+    pub fn pooled(&self) -> usize {
+        self.bufs.len()
+    }
 }
 
 /// Aggregate cache statistics.
@@ -67,11 +124,31 @@ pub struct CacheStats {
 /// A set-associative LLC model. Line size is fixed at 64 B.
 #[derive(Debug, Clone)]
 pub struct LlcCache {
-    sets: Vec<Line>,
+    /// Per-line `tag<<2 | dirty<<1 | present`, grouped by set.
+    keys: Vec<u64>,
+    /// Per-line LRU stamp (also the validity epoch carrier).
+    lru: Vec<u64>,
+    /// Per-line [`digest_of`] the tag in `keys` — the array probes
+    /// actually scan. Never authoritative: a digest match is confirmed
+    /// against `keys`/`lru`, so stale or colliding digests are
+    /// harmless. Indexed identically to `keys`.
+    digests: Vec<u16>,
     n_sets: usize,
     ways: usize,
     ddio_ways: usize,
     stamp: u64,
+    /// Lines with `lru < epoch` are invalid regardless of their
+    /// present bit (they predate the last clear / buffer reuse).
+    epoch: u64,
+    /// `n_sets` factored as `2^k * odd`: set lookup replaces the
+    /// hardware-division `line % n_sets` with a mask plus a
+    /// multiply-high reduction by the small odd factor.
+    set_mask: u64,
+    set_shift: u32,
+    set_odd: u64,
+    /// `ceil(2^64 / set_odd)` — exact reciprocal for line numbers
+    /// below 2^32 (see [`LlcCache::set_of`]).
+    odd_magic: u64,
     stats: CacheStats,
 }
 
@@ -82,26 +159,69 @@ impl LlcCache {
     /// Builds a cache of `size_bytes` with `ways` ways, of which the
     /// first `ddio_ways` accept DMA-write allocations (0 = no DDIO).
     pub fn new(size_bytes: u64, ways: usize, ddio_ways: usize) -> Self {
+        Self::new_reusing(size_bytes, ways, ddio_ways, &mut CacheStorage::new())
+    }
+
+    /// [`LlcCache::new`] drawing the line buffers from `pool` instead
+    /// of allocating and zeroing fresh ones (see [`CacheStorage`]).
+    pub fn new_reusing(
+        size_bytes: u64,
+        ways: usize,
+        ddio_ways: usize,
+        pool: &mut CacheStorage,
+    ) -> Self {
         assert!(ways > 0 && ddio_ways <= ways);
         let lines = (size_bytes / LINE) as usize;
         assert!(
             lines >= ways && lines.is_multiple_of(ways),
             "cache size must be a multiple of ways*64B"
         );
+        let (mut keys, mut lru, mut digests) = pool.bufs.pop().unwrap_or_default();
+        keys.resize(lines, 0);
+        lru.resize(lines, 0);
+        digests.resize(lines, 0);
+        let stamp = pool.stamp;
         let n_sets = lines / ways;
+        let set_shift = (n_sets as u64).trailing_zeros();
+        let set_odd = (n_sets as u64) >> set_shift;
         LlcCache {
-            sets: vec![Line::default(); lines],
+            keys,
+            lru,
+            digests,
             n_sets,
             ways,
             ddio_ways,
-            stamp: 0,
+            stamp,
+            epoch: stamp + 1,
+            set_mask: (1u64 << set_shift) - 1,
+            set_shift,
+            set_odd,
+            odd_magic: if set_odd > 1 {
+                // ceil(2^64 / odd) for odd >= 3, computed without u128
+                // overflow: 2^64 = odd * floor(2^64/odd) + rem.
+                (u64::MAX / set_odd) + 1
+            } else {
+                0
+            },
             stats: CacheStats::default(),
         }
     }
 
+    /// Retires this cache's line buffers into `pool` for reuse. The
+    /// cache is left empty and must not be used afterwards.
+    pub fn recycle_into(&mut self, pool: &mut CacheStorage) {
+        pool.stamp = pool.stamp.max(self.stamp);
+        pool.bufs.push((
+            std::mem::take(&mut self.keys),
+            std::mem::take(&mut self.lru),
+            std::mem::take(&mut self.digests),
+        ));
+        self.n_sets = 0;
+    }
+
     /// Total capacity in bytes.
     pub fn capacity(&self) -> u64 {
-        (self.sets.len() as u64) * LINE
+        (self.keys.len() as u64) * LINE
     }
 
     /// Capacity of the DDIO partition in bytes.
@@ -114,9 +234,34 @@ impl LlcCache {
         self.ddio_ways > 0
     }
 
+    /// `line % n_sets`, with `n_sets = 2^k * odd`: the power-of-two
+    /// part is a mask and the odd part a multiply-high reduction —
+    /// exactly the value `%` produces, without the ~25-cycle divide.
+    ///
+    /// For `x = q*n_sets + r`: `r & mask == x & mask` and
+    /// `r >> k == (x >> k) % odd`, so the two parts compose. The
+    /// reciprocal `q' = (x * ceil(2^64/odd)) >> 64` is exact for
+    /// `x < 2^32` (error term `x*rem/(odd*2^64) < 2^-32 < 1/odd`);
+    /// larger line numbers fall back to the hardware divide.
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        let low = line & self.set_mask;
+        let high = if self.set_odd == 1 {
+            0
+        } else {
+            let x = line >> self.set_shift;
+            if x < (1 << 32) {
+                let q = ((x as u128 * self.odd_magic as u128) >> 64) as u64;
+                x - q * self.set_odd
+            } else {
+                x % self.set_odd
+            }
+        };
+        ((high << self.set_shift) | low) as usize
+    }
+
     fn set_range(&self, addr: u64) -> (usize, usize) {
-        let set = ((addr / LINE) as usize) % self.n_sets;
-        let base = set * self.ways;
+        let base = self.set_of(addr / LINE) * self.ways;
         (base, base + self.ways)
     }
 
@@ -128,13 +273,23 @@ impl LlcCache {
     /// DMA read of one line.
     pub fn dma_read(&mut self, addr: u64) -> ReadOutcome {
         let tag = addr / LINE;
+        let want = key_of(tag, true);
+        let d = digest_of(tag);
         let (lo, hi) = self.set_range(addr);
+        let epoch = self.epoch;
         let stamp = self.tick();
-        for line in &mut self.sets[lo..hi] {
-            if line.valid && line.tag == tag {
-                line.lru = stamp;
-                self.stats.read_hits += 1;
-                return ReadOutcome::Hit;
+        // Digest candidates only; stale (dead-epoch) or colliding
+        // entries are rejected by the key + stamp confirmation, loaded
+        // only on a digest match. The subslice iteration keeps the
+        // dominant all-miss scan free of per-way bounds checks.
+        for (off, &dg) in self.digests[lo..hi].iter().enumerate() {
+            if dg == d {
+                let i = lo + off;
+                if (self.keys[i] | DIRTY) == want && self.lru[i] >= epoch {
+                    self.lru[i] = stamp;
+                    self.stats.read_hits += 1;
+                    return ReadOutcome::Hit;
+                }
             }
         }
         self.stats.read_misses += 1;
@@ -144,42 +299,59 @@ impl LlcCache {
     /// DMA write of one line (DDIO semantics).
     pub fn dma_write(&mut self, addr: u64) -> WriteOutcome {
         let tag = addr / LINE;
+        let want = key_of(tag, true);
         let (lo, hi) = self.set_range(addr);
+        let epoch = self.epoch;
         let stamp = self.tick();
+        let d = digest_of(tag);
         if self.ddio_ways == 0 {
             // No DDIO: the DMA write goes to memory; a resident copy is
             // *invalidated* (classic coherent-DMA behaviour before
             // Data Direct I/O).
-            for line in &mut self.sets[lo..hi] {
-                if line.valid && line.tag == tag {
-                    line.valid = false;
+            for (off, &dg) in self.digests[lo..hi].iter().enumerate() {
+                let i = lo + off;
+                if dg == d && (self.keys[i] | DIRTY) == want && self.lru[i] >= epoch {
+                    self.keys[i] &= !PRESENT;
                 }
             }
             self.stats.write_uncached += 1;
             return WriteOutcome::Uncached;
         }
-        // Hit anywhere in the set: update in place.
-        for line in &mut self.sets[lo..hi] {
-            if line.valid && line.tag == tag {
-                line.lru = stamp;
-                line.dirty = true;
-                self.stats.write_hits += 1;
-                return WriteOutcome::Hit;
+        // Hit detection over the whole set, on digests.
+        for (off, &dg) in self.digests[lo..hi].iter().enumerate() {
+            if dg == d {
+                let i = lo + off;
+                if (self.keys[i] | DIRTY) == want && self.lru[i] >= epoch {
+                    // Hit anywhere in the set: update in place.
+                    self.lru[i] = stamp;
+                    self.keys[i] |= DIRTY;
+                    self.stats.write_hits += 1;
+                    return WriteOutcome::Hit;
+                }
             }
         }
-        // Allocate: LRU victim among the DDIO ways only.
-        let ddio = &mut self.sets[lo..lo + self.ddio_ways];
-        let victim = ddio
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru } else { 0 })
-            .expect("ddio_ways > 0");
-        let evict_dirty = victim.valid && victim.dirty;
-        *victim = Line {
-            tag,
-            valid: true,
-            dirty: true,
-            lru: stamp,
-        };
+        // Miss: LRU victim among the DDIO ways only (typically the
+        // first 2 — one key and one stamp line, already touched).
+        let mut victim = lo;
+        let mut victim_key = u64::MAX;
+        for i in lo..lo + self.ddio_ways {
+            // Invalid lines sort before every valid one (valid
+            // stamps are >= epoch >= 1), ties broken by position.
+            let vk = if self.keys[i] & PRESENT != 0 && self.lru[i] >= epoch {
+                self.lru[i]
+            } else {
+                0
+            };
+            if vk < victim_key {
+                victim_key = vk;
+                victim = i;
+            }
+        }
+        let vkey = self.keys[victim];
+        let evict_dirty = vkey & PRESENT != 0 && self.lru[victim] >= epoch && vkey & DIRTY != 0;
+        self.keys[victim] = key_of(tag, true);
+        self.lru[victim] = stamp;
+        self.digests[victim] = d;
         if evict_dirty {
             self.stats.write_dirty_evictions += 1;
             WriteOutcome::AllocatedDirtyEviction
@@ -192,43 +364,119 @@ impl LlcCache {
     /// CPU-side touch of one line: allocates anywhere in the set
     /// (true-LRU victim over all ways).
     pub fn host_touch(&mut self, addr: u64, dirty: bool) {
-        let tag = addr / LINE;
-        let (lo, hi) = self.set_range(addr);
         let stamp = self.tick();
-        for line in &mut self.sets[lo..hi] {
-            if line.valid && line.tag == tag {
-                line.lru = stamp;
-                line.dirty |= dirty;
+        self.touch_with_stamp(addr, dirty, stamp);
+    }
+
+    fn touch_with_stamp(&mut self, addr: u64, dirty: bool, stamp: u64) {
+        let tag = addr / LINE;
+        let want = key_of(tag, true);
+        let (lo, hi) = self.set_range(addr);
+        let epoch = self.epoch;
+        let mut victim = lo;
+        let mut victim_key = u64::MAX;
+        for i in lo..hi {
+            let k = self.keys[i];
+            if (k | DIRTY) == want && self.lru[i] >= epoch {
+                self.lru[i] = stamp;
+                self.keys[i] = k | u64::from(dirty) << 1;
                 return;
             }
+            let vk = if k & PRESENT != 0 && self.lru[i] >= epoch {
+                self.lru[i]
+            } else {
+                0
+            };
+            if vk < victim_key {
+                victim_key = vk;
+                victim = i;
+            }
         }
-        let victim = self.sets[lo..hi]
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru } else { 0 })
-            .expect("ways > 0");
-        *victim = Line {
-            tag,
-            valid: true,
-            dirty,
-            lru: stamp,
-        };
+        self.keys[victim] = key_of(tag, dirty);
+        self.lru[victim] = stamp;
+        self.digests[victim] = digest_of(tag);
+    }
+
+    /// Bulk CPU-side warm of the line range `[start_line, end_line]`
+    /// (inclusive, in units of 64 B lines), equivalent to calling
+    /// [`LlcCache::host_touch`] once per line in ascending order.
+    ///
+    /// Warming a multi-megabyte buffer is a setup cost paid per
+    /// benchmark cell, so sets that are currently empty take a direct
+    /// fill: with unique ascending tags every touch misses, victims
+    /// rotate round-robin from slot 0, and the set's final contents —
+    /// the last `ways` touches mapping to it, stamped as if touched
+    /// individually — can be written without scanning per touch.
+    /// Non-empty sets (possible hits, LRU-ordered victims) fall back
+    /// to the exact per-touch path.
+    pub fn warm_lines(&mut self, start_line: u64, end_line: u64, dirty: bool) {
+        let total = end_line - start_line + 1;
+        let stamp0 = self.stamp;
+        // Small warms touch few sets; the per-touch path is cheap and
+        // avoids visiting every set in the cache.
+        if total < 4 * self.n_sets as u64 {
+            for line in start_line..=end_line {
+                let stamp = stamp0 + (line - start_line) + 1;
+                self.touch_with_stamp(line * LINE, dirty, stamp);
+            }
+            self.stamp = stamp0 + total;
+            return;
+        }
+        let n_sets = self.n_sets as u64;
+        let ways = self.ways as u64;
+        let epoch = self.epoch;
+        for set in 0..n_sets {
+            // Lines ≡ set (mod n_sets) within the warm range.
+            let first = start_line + (set + n_sets - start_line % n_sets) % n_sets;
+            if first > end_line {
+                continue;
+            }
+            let m = (end_line - first) / n_sets + 1;
+            let lo = (set * ways) as usize;
+            let hi = lo + self.ways;
+            if (lo..hi).any(|i| self.keys[i] & PRESENT != 0 && self.lru[i] >= epoch) {
+                // Occupied set: possible hits / LRU victims — replay
+                // the touches exactly.
+                for k in 0..m {
+                    let line = first + k * n_sets;
+                    let stamp = stamp0 + (line - start_line) + 1;
+                    self.touch_with_stamp(line * LINE, dirty, stamp);
+                }
+                continue;
+            }
+            // Empty set: touch k lands in slot (k mod ways); slot j's
+            // final occupant is the last touch ≡ j (mod ways).
+            let filled = m.min(ways);
+            for j in 0..filled {
+                let k = if m <= ways {
+                    j
+                } else {
+                    m - 1 - ((m - 1 - j) % ways)
+                };
+                let line = first + k * n_sets;
+                let stamp = stamp0 + (line - start_line) + 1;
+                self.keys[lo + j as usize] = key_of(line, dirty);
+                self.lru[lo + j as usize] = stamp;
+                self.digests[lo + j as usize] = digest_of(line);
+            }
+        }
+        self.stamp = stamp0 + total;
     }
 
     /// Whether a line is currently resident (test/diagnostic helper).
     pub fn contains(&self, addr: u64) -> bool {
-        let tag = addr / LINE;
+        let want = key_of(addr / LINE, true);
         let (lo, hi) = self.set_range(addr);
-        self.sets[lo..hi].iter().any(|l| l.valid && l.tag == tag)
+        (lo..hi).any(|i| (self.keys[i] | DIRTY) == want && self.lru[i] >= self.epoch)
     }
 
     /// Invalidates everything — the "cold cache" state. (Benchmarks
     /// thrash the cache between runs; modelling that as invalidation
     /// gives the same observable behaviour without simulating the
-    /// thrash traffic.)
+    /// thrash traffic.) O(1): lines stamped before the new epoch are
+    /// invalid by definition.
     pub fn clear(&mut self) {
-        for l in &mut self.sets {
-            *l = Line::default();
-        }
+        self.epoch = self.stamp + 1;
     }
 
     /// Statistics so far.
@@ -258,6 +506,26 @@ mod tests {
         assert_eq!(c.capacity(), 32 * 1024);
         assert_eq!(c.ddio_capacity(), 8 * 1024);
         assert!(c.has_ddio());
+    }
+
+    #[test]
+    fn set_of_matches_hardware_modulo() {
+        // Power-of-two, 2^k*3, 2^k*5 and odd-heavy geometries, across
+        // small and huge line numbers (the > 2^32 fallback path too).
+        for n_sets in [64usize, 96, 160, 12288, 20480, 24] {
+            let c = LlcCache::new((n_sets * 4) as u64 * 64, 4, 2);
+            assert_eq!(c.n_sets, n_sets);
+            for line in (0u64..10_000)
+                .chain((1u64 << 32) - 1000..(1u64 << 32) + 1000)
+                .chain(u64::MAX - 1000..=u64::MAX)
+            {
+                assert_eq!(
+                    c.set_of(line),
+                    (line % n_sets as u64) as usize,
+                    "line {line} n_sets {n_sets}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -371,6 +639,102 @@ mod tests {
         c.clear();
         assert!(!c.contains(0x1000));
         assert_eq!(c.dma_read(0x1000), ReadOutcome::Miss);
+    }
+
+    #[test]
+    fn clear_resets_replacement_state_exactly() {
+        // After clear, allocation order must match a factory-fresh
+        // cache (victims taken in slot order), even though the line
+        // buffer still holds dead-epoch garbage.
+        let mut c = small();
+        for i in 0..512u64 {
+            c.dma_write(i * 64);
+            c.host_touch(i * 64 + 7 * 4096, true);
+        }
+        c.clear();
+        let mut fresh = small();
+        for i in 0..256u64 {
+            assert_eq!(c.dma_write(i * 64), fresh.dma_write(i * 64), "line {i}");
+        }
+        for i in 0..64u64 {
+            assert_eq!(c.dma_read(i * 64), fresh.dma_read(i * 64));
+        }
+    }
+
+    #[test]
+    fn recycled_buffer_behaves_like_fresh() {
+        let mut pool = CacheStorage::new();
+        let mut first = LlcCache::new_reusing(32 * 1024, 8, 2, &mut pool);
+        for i in 0..1024u64 {
+            first.dma_write(i * 64);
+            first.host_touch(i * 64, true);
+        }
+        first.recycle_into(&mut pool);
+        assert_eq!(pool.pooled(), 1);
+
+        let mut reused = LlcCache::new_reusing(32 * 1024, 8, 2, &mut pool);
+        assert_eq!(pool.pooled(), 0, "buffer drawn from the pool");
+        let mut fresh = small();
+        for i in 0..512u64 {
+            assert_eq!(reused.dma_write(i * 64), fresh.dma_write(i * 64));
+            assert_eq!(reused.dma_read(i * 64), fresh.dma_read(i * 64));
+        }
+        assert_eq!(reused.stats(), fresh.stats());
+    }
+
+    #[test]
+    fn recycling_across_geometries_resizes() {
+        let mut pool = CacheStorage::new();
+        let mut big = LlcCache::new_reusing(64 * 1024, 8, 2, &mut pool);
+        big.host_touch(0, true);
+        big.recycle_into(&mut pool);
+        let small_reused = LlcCache::new_reusing(32 * 1024, 8, 2, &mut pool);
+        assert_eq!(small_reused.capacity(), 32 * 1024);
+        assert!(!small_reused.contains(0));
+    }
+
+    #[test]
+    fn bulk_warm_matches_per_touch_reference() {
+        // The direct-fill warm must leave the cache bit-equivalent to
+        // per-line host_touch calls: same residency, same future
+        // replacement decisions. Checked over empty and pre-occupied
+        // caches, ranges below and above capacity, odd offsets.
+        for (start, count) in [
+            (0u64, 4096u64), // 4x capacity, aligned
+            (13, 2048),      // above the 4*n_sets direct-fill gate
+            (7, 100),        // small: per-touch path
+            (64, 512),       // exactly capacity
+        ] {
+            let mut fast = small();
+            let mut slow = small();
+            // Pre-occupy some sets so both paths exercise the
+            // occupied-set fallback.
+            for i in 0..32u64 {
+                fast.dma_write(i * 64 * 3);
+                slow.dma_write(i * 64 * 3);
+            }
+            fast.warm_lines(start, start + count - 1, true);
+            for line in start..start + count {
+                slow.host_touch(line * LINE, true);
+            }
+            // Same residency...
+            for line in start.saturating_sub(8)..start + count + 8 {
+                assert_eq!(
+                    fast.contains(line * LINE),
+                    slow.contains(line * LINE),
+                    "residency diverged at line {line} (start {start} count {count})"
+                );
+            }
+            // ...and same replacement behaviour afterwards.
+            for i in 0..1024u64 {
+                assert_eq!(
+                    fast.dma_write(i * 64 * 5),
+                    slow.dma_write(i * 64 * 5),
+                    "write {i} diverged (start {start} count {count})"
+                );
+            }
+            assert_eq!(fast.stats(), slow.stats());
+        }
     }
 
     #[test]

@@ -22,12 +22,15 @@
 //! management — belongs to the link and device layers.
 
 use crate::buffer::HostBuffer;
-use crate::cache::{LlcCache, ReadOutcome, WriteOutcome, LINE};
+use crate::cache::{CacheStorage, LlcCache, ReadOutcome, WriteOutcome, LINE};
 use crate::dram::Dram;
 use crate::iommu::Iommu;
 use crate::presets::HostPreset;
 use pcie_sim::{SimTime, SplitMix64, Timeline};
-use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Smallest fence-list population worth sweeping for expired entries.
+const FENCE_SWEEP_MIN: usize = 128;
 
 /// Aggregate host-side statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -63,7 +66,25 @@ pub struct HostSystem {
     /// the observable subset of the spec's stream ordering: the
     /// simulator issues transactions out of arrival order, so a global
     /// fence would order reads behind writes that *arrive later*.
-    line_fences: HashMap<u64, SimTime>,
+    ///
+    /// Each absorbed write covers one contiguous run of lines with a
+    /// single absorb time, so fences are stored as `(first_line,
+    /// last_line, done)` intervals in arrival order — one O(1) append
+    /// per write TLP instead of a map entry per line. A read takes the
+    /// max `done` over live intervals overlapping its line range, which
+    /// equals the per-line maximum a map would give. Entries whose
+    /// `done` has passed are popped from the front (absorb times are
+    /// near-monotone), with a size-triggered sweep as backstop.
+    line_fences: VecDeque<(u64, u64, SimTime)>,
+    /// Upper bound on every live fence in `line_fences`. Both TLP paths
+    /// funnel through the `rc` timeline, so post-RC times are monotone
+    /// across calls: once the horizon falls at or below the current
+    /// post-RC time, no recorded fence can ever raise a later read, and
+    /// the list can be dropped wholesale instead of scanned.
+    fence_horizon: SimTime,
+    /// List size that triggers the next expired-fence sweep; doubles
+    /// with the surviving population so sweeps stay amortised O(1).
+    fence_sweep_at: usize,
     rng: SplitMix64,
     /// Socket interconnect (remote-node traffic serialises through it).
     interconnect: Timeline,
@@ -78,9 +99,23 @@ pub struct HostSystem {
 impl HostSystem {
     /// Builds a host from a preset with a deterministic RNG seed.
     pub fn new(preset: HostPreset, seed: u64) -> Self {
+        Self::new_reusing(preset, seed, &mut CacheStorage::new())
+    }
+
+    /// [`HostSystem::new`] drawing LLC line buffers from `pool` instead
+    /// of allocating and zeroing fresh ones — the dominant cost of
+    /// building a host (a 15 MiB LLC is ~250k lines). Behaviour is
+    /// identical; retire the host with
+    /// [`HostSystem::recycle_caches`] to keep the buffers circulating.
+    pub fn new_reusing(preset: HostPreset, seed: u64, pool: &mut CacheStorage) -> Self {
         let nodes = (0..preset.numa_nodes)
             .map(|_| Node {
-                cache: LlcCache::new(preset.llc_bytes, preset.llc_ways, preset.ddio_ways),
+                cache: LlcCache::new_reusing(
+                    preset.llc_bytes,
+                    preset.llc_ways,
+                    preset.ddio_ways,
+                    pool,
+                ),
                 dram: Dram::asymmetric(
                     preset.lat.dram_extra,
                     preset.lat.dram_line_service,
@@ -93,12 +128,22 @@ impl HostSystem {
             nodes,
             iommu: None,
             rc: Timeline::new(),
-            line_fences: HashMap::new(),
+            line_fences: VecDeque::new(),
+            fence_horizon: SimTime::ZERO,
+            fence_sweep_at: FENCE_SWEEP_MIN,
             rng: SplitMix64::new(seed),
             interconnect: Timeline::new(),
             last_read_arrival: SimTime::ZERO,
             device_node: 0,
             stats: MemStats::default(),
+        }
+    }
+
+    /// Retires every node's LLC line buffer into `pool` (see
+    /// [`CacheStorage`]). The host must not be used afterwards.
+    pub fn recycle_caches(&mut self, pool: &mut CacheStorage) {
+        for n in &mut self.nodes {
+            n.cache.recycle_into(pool);
         }
     }
 
@@ -216,9 +261,7 @@ impl HostSystem {
         let cache = &mut self.nodes[buf.node()].cache;
         let start = buf.addr(offset) / LINE;
         let end = (buf.addr(offset) + len - 1) / LINE;
-        for line in start..=end {
-            cache.host_touch(line * LINE, true);
-        }
+        cache.warm_lines(start, end, true);
     }
 
     /// Makes all caches cold ("thrash", §4). We model the thrash as
@@ -262,12 +305,16 @@ impl HostSystem {
         let entry = self.rc.reserve(now, lat.rc_service_gap).start;
         let mut t = entry + lat.rc_latency;
         // 2. Ordering: reads do not pass posted writes to the same data.
-        {
+        //    Read-only workloads never populate the fence map, and once
+        //    every recorded fence lies at or before `t` none of them
+        //    can delay this read — so the common case is one horizon
+        //    comparison, not a probe per line.
+        if self.fence_horizon > t && !self.line_fences.is_empty() {
             let first = addr / LINE;
             let last = (addr + len.max(1) as u64 - 1) / LINE;
-            for line in first..=last {
-                if let Some(&f) = self.line_fences.get(&line) {
-                    t = t.max(f);
+            for &(lo, hi, done) in &self.line_fences {
+                if lo <= last && hi >= first {
+                    t = t.max(done);
                 }
             }
         }
@@ -386,10 +433,31 @@ impl HostSystem {
             // No DDIO: the write itself goes to memory.
             done = done.max(node.dram.write(t + lat.llc_latency, uncached));
         }
-        for line in first..=last {
-            let e = self.line_fences.entry(line).or_insert(SimTime::ZERO);
-            *e = (*e).max(done);
+        // Expired-fence upkeep, all provably exact: any fence with
+        // `done <= t` can never bind a later TLP (post-RC times only
+        // grow), so dropping such entries is unobservable. When *all*
+        // fences have expired the list is cleared outright — the
+        // closed-loop WRRD steady state, which would otherwise grow the
+        // list by one entry per transaction. Under back-to-back writes
+        // absorb times are near-monotone, so expired intervals cluster
+        // at the front and pop off O(1) amortised; the size-triggered
+        // sweep catches any out-of-order stragglers.
+        if !self.line_fences.is_empty() {
+            if self.fence_horizon <= t {
+                self.line_fences.clear();
+                self.fence_horizon = SimTime::ZERO;
+            } else {
+                while self.line_fences.front().is_some_and(|&(_, _, d)| d <= t) {
+                    self.line_fences.pop_front();
+                }
+                if self.line_fences.len() >= self.fence_sweep_at {
+                    self.line_fences.retain(|&(_, _, d)| d > t);
+                    self.fence_sweep_at = (self.line_fences.len() * 2).max(FENCE_SWEEP_MIN);
+                }
+            }
         }
+        self.line_fences.push_back((first, last, done));
+        self.fence_horizon = self.fence_horizon.max(done);
         done
     }
 

@@ -22,6 +22,15 @@ pub struct JitterModel {
     /// `(cumulative probability, extra latency in ns)` knots, sorted by
     /// probability, first at p=0, last at p=1.
     knots: Vec<(f64, f64)>,
+    /// Per-bucket segment-count bounds: bucket `b` covers
+    /// `u ∈ [b/256, (b+1)/256)` and stores how many knots in
+    /// `knots[1..]` lie strictly below each boundary. When the two
+    /// counts agree the whole bucket sits inside one segment and the
+    /// lookup is O(1); otherwise only the knots between the counts are
+    /// tested. Derived from `knots`, so excluded from `PartialEq`-
+    /// relevant state only in the sense that equal knots imply equal
+    /// buckets.
+    buckets: Vec<(u16, u16)>,
 }
 
 impl JitterModel {
@@ -37,7 +46,16 @@ impl JitterModel {
             assert!(w[0].1 <= w[1].1, "quantiles must be non-decreasing");
         }
         assert!(knots[0].1 >= 0.0, "extra latency cannot be negative");
-        JitterModel { knots }
+        let count_below = |p: f64| knots[1..].iter().filter(|k| k.0 < p).count() as u16;
+        let buckets = (0..256u32)
+            .map(|b| {
+                (
+                    count_below(b as f64 / 256.0),
+                    count_below((b + 1) as f64 / 256.0),
+                )
+            })
+            .collect();
+        JitterModel { knots, buckets }
     }
 
     /// No jitter at all.
@@ -92,18 +110,27 @@ impl JitterModel {
     }
 
     /// Evaluates the quantile function at probability `u` (clamped).
+    ///
+    /// Sampled once per transaction, with `u` uniform — a data-
+    /// dependent early-exit knot walk mispredicts ~half the time, so
+    /// the segment is found through the 256-bucket table instead: the
+    /// bucket's precomputed counts bound the answer, and only knot
+    /// boundaries falling *inside* the bucket (rare) are tested.
     pub fn quantile(&self, u: f64) -> f64 {
         let u = u.clamp(0.0, 1.0);
-        let mut prev = self.knots[0];
-        for &k in &self.knots[1..] {
-            if u <= k.0 {
-                let span = k.0 - prev.0;
-                let frac = if span > 0.0 { (u - prev.0) / span } else { 1.0 };
-                return prev.1 + frac * (k.1 - prev.1);
-            }
-            prev = k;
+        let b = ((u * 256.0) as usize).min(255);
+        let (lo, hi) = self.buckets[b];
+        let mut idx = lo as usize;
+        for k in &self.knots[1 + lo as usize..1 + hi as usize] {
+            idx += usize::from(k.0 < u);
         }
-        self.knots.last().unwrap().1
+        // `u == 1.0` counts every interior knot; stay on the last segment.
+        let idx = idx.min(self.knots.len() - 2);
+        let (p0, v0) = self.knots[idx];
+        let (p1, v1) = self.knots[idx + 1];
+        let span = p1 - p0;
+        let frac = if span > 0.0 { (u - p0) / span } else { 1.0 };
+        v0 + frac * (v1 - v0)
     }
 
     /// Whether this model is identically zero.

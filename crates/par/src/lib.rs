@@ -181,23 +181,20 @@ impl Pool {
         let wall0 = Instant::now();
         // The sequential path: no threads, no atomics — bit-for-bit
         // today's nested-loop behaviour, guaranteed by construction.
+        // One clock pair brackets the whole loop: a sequential run *is*
+        // its own sequential-equivalent, so `busy == wall` by
+        // definition and `speedup()` reports exactly 1.0 instead of
+        // drifting below it by the per-job `Instant::now()` overhead.
         if self.threads == 1 || jobs <= 1 {
             let mut state = init();
-            let mut busy = Duration::ZERO;
-            let out = (0..jobs)
-                .map(|i| {
-                    let t0 = Instant::now();
-                    let r = f(&mut state, i);
-                    busy += t0.elapsed();
-                    r
-                })
-                .collect();
+            let out = (0..jobs).map(|i| f(&mut state, i)).collect();
+            let wall = wall0.elapsed();
             let stats = PoolStats {
                 threads: self.threads,
                 workers: jobs.min(1),
                 jobs,
-                busy,
-                wall: wall0.elapsed(),
+                busy: wall,
+                wall,
             };
             return (out, stats);
         }
@@ -341,6 +338,21 @@ mod tests {
         assert!(stats.speedup() > 0.0);
         assert!(stats.sequential_equivalent() >= Duration::ZERO);
         assert!(stats.jobs_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn sequential_speedup_is_exactly_one() {
+        // A sequential run is its own sequential-equivalent: the pool
+        // reports busy == wall from a single clock pair, so speedup is
+        // exactly 1.0 — never dragged below by per-job clock reads.
+        let (_, stats) = Pool::sequential().run_with_timed(
+            100,
+            || (),
+            |(), i| (0..100).fold(i as u64, |a, b| a.wrapping_mul(31).wrapping_add(b)),
+        );
+        assert_eq!(stats.busy, stats.wall);
+        assert_eq!(stats.speedup(), 1.0);
+        assert!(stats.wall > Duration::ZERO);
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Slab arena with generation-checked handles.
+//!
+//! The simulator's hot loops (TLPs in flight on a link, descriptor
+//! batches moving through a driver's DMA phases, transaction records
+//! in a NIC ring) used to heap-allocate one short-lived object per
+//! packet. An [`Arena`] replaces that with slot reuse: `insert`
+//! returns a small `Copy` [`Handle`], `remove` returns the value and
+//! retires the slot onto a free list, and the slot's backing storage
+//! (including any `Vec` capacity inside the value, if the caller
+//! recycles it) survives for the next packet.
+//!
+//! Handles are *generation-checked*: each slot carries a generation
+//! counter bumped on every removal, and a stale handle (one that
+//! outlived its value — the simulator equivalent of a dangling
+//! pointer) simply resolves to `None` instead of aliasing whatever
+//! reused the slot. This is what makes handles safe to park inside
+//! event queues and replay buffers whose entries can be cancelled.
+
+use std::marker::PhantomData;
+
+/// A generation-checked reference to a value in an [`Arena`].
+///
+/// 8 bytes, `Copy`, and typed: a `Handle<Tlp>` cannot index an
+/// `Arena<Ring>`. Resolving a handle whose value was removed returns
+/// `None` even if the slot has since been reused.
+pub struct Handle<T> {
+    idx: u32,
+    gen: u32,
+    _marker: PhantomData<fn() -> T>,
+}
+
+// Manual impls: `derive` would needlessly require `T: Copy` etc.
+impl<T> Clone for Handle<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Handle<T> {}
+impl<T> PartialEq for Handle<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.idx == other.idx && self.gen == other.gen
+    }
+}
+impl<T> Eq for Handle<T> {}
+impl<T> std::fmt::Debug for Handle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Handle({}v{})", self.idx, self.gen)
+    }
+}
+
+struct Slot<T> {
+    gen: u32,
+    val: Option<T>,
+}
+
+/// A slab allocator for fixed-type simulation records.
+///
+/// Insert/remove are O(1); removed slots are reused LIFO, so a
+/// steady-state workload (one TLP retired per TLP issued) touches the
+/// same few cache-hot slots forever and never grows the arena.
+pub struct Arena<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Creates an arena with room for `cap` values before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        Arena {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Stores `val`, returning its handle.
+    pub fn insert(&mut self, val: T) -> Handle<T> {
+        self.len += 1;
+        if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            debug_assert!(slot.val.is_none());
+            slot.val = Some(val);
+            Handle {
+                idx,
+                gen: slot.gen,
+                _marker: PhantomData,
+            }
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("arena overflow");
+            self.slots.push(Slot {
+                gen: 0,
+                val: Some(val),
+            });
+            Handle {
+                idx,
+                gen: 0,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// Resolves a handle, or `None` if its value was removed.
+    #[inline]
+    pub fn get(&self, h: Handle<T>) -> Option<&T> {
+        self.slots
+            .get(h.idx as usize)
+            .filter(|s| s.gen == h.gen)
+            .and_then(|s| s.val.as_ref())
+    }
+
+    /// Mutable [`Arena::get`].
+    #[inline]
+    pub fn get_mut(&mut self, h: Handle<T>) -> Option<&mut T> {
+        self.slots
+            .get_mut(h.idx as usize)
+            .filter(|s| s.gen == h.gen)
+            .and_then(|s| s.val.as_mut())
+    }
+
+    /// Removes and returns the value behind `h`; `None` if already
+    /// removed (stale handles are harmless, not UB).
+    pub fn remove(&mut self, h: Handle<T>) -> Option<T> {
+        let slot = self.slots.get_mut(h.idx as usize)?;
+        if slot.gen != h.gen || slot.val.is_none() {
+            return None;
+        }
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(h.idx);
+        self.len -= 1;
+        slot.val.take()
+    }
+
+    /// Live value count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no values are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total slots ever allocated (live + free-listed).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Removes all values, invalidating every outstanding handle while
+    /// keeping slot storage for reuse.
+    pub fn clear(&mut self) {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if slot.val.take().is_some() {
+                slot.gen = slot.gen.wrapping_add(1);
+                self.free.push(i as u32);
+            }
+        }
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut a = Arena::new();
+        let h1 = a.insert("one");
+        let h2 = a.insert("two");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(h1), Some(&"one"));
+        assert_eq!(a.get(h2), Some(&"two"));
+        assert_eq!(a.remove(h1), Some("one"));
+        assert_eq!(a.get(h1), None);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn stale_handle_does_not_alias_reused_slot() {
+        let mut a = Arena::new();
+        let h1 = a.insert(1);
+        a.remove(h1);
+        let h2 = a.insert(2); // reuses slot 0 with a bumped generation
+        assert_eq!(h2.idx, h1.idx);
+        assert_eq!(a.get(h1), None);
+        assert_eq!(a.get_mut(h1), None);
+        assert_eq!(a.remove(h1), None);
+        assert_eq!(a.get(h2), Some(&2));
+    }
+
+    #[test]
+    fn double_remove_is_none() {
+        let mut a = Arena::new();
+        let h = a.insert(7);
+        assert_eq!(a.remove(h), Some(7));
+        assert_eq!(a.remove(h), None);
+        assert_eq!(a.len(), 0);
+    }
+
+    #[test]
+    fn slots_are_reused_not_grown() {
+        let mut a = Arena::new();
+        // Steady state: one in flight at a time.
+        for i in 0..1000 {
+            let h = a.insert(i);
+            assert_eq!(a.remove(h), Some(i));
+        }
+        assert_eq!(a.capacity(), 1);
+    }
+
+    #[test]
+    fn clear_invalidates_everything_but_keeps_slots() {
+        let mut a = Arena::new();
+        let hs: Vec<_> = (0..10).map(|i| a.insert(i)).collect();
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.capacity(), 10);
+        for h in hs {
+            assert_eq!(a.get(h), None);
+        }
+        // Reinsert reuses the same 10 slots.
+        for i in 0..10 {
+            a.insert(i);
+        }
+        assert_eq!(a.capacity(), 10);
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut a = Arena::new();
+        let h = a.insert(vec![1, 2]);
+        a.get_mut(h).unwrap().push(3);
+        assert_eq!(a.get(h), Some(&vec![1, 2, 3]));
+    }
+}

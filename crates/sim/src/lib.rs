@@ -2,10 +2,13 @@
 //!
 //! This crate provides the simulation substrate for the `pcie-bench`
 //! reproduction: a picosecond-resolution clock ([`SimTime`]), a
-//! FIFO-tie-broken event queue ([`EventQueue`]), busy-until resource
-//! timelines ([`Timeline`]) for modelling serial resources such as PCIe
-//! link directions, and a small, seedable, portable RNG ([`SplitMix64`])
-//! so that every simulation run is bit-for-bit reproducible.
+//! FIFO-tie-broken event queue ([`EventQueue`], a hierarchical timing
+//! wheel), busy-until resource timelines ([`Timeline`]) for modelling
+//! serial resources such as PCIe link directions, a slab allocator
+//! with generation-checked handles ([`Arena`]) for per-packet records,
+//! a deterministic hasher ([`hash::FxHashMap`]) for hot-path maps, and
+//! a small, seedable, portable RNG ([`SplitMix64`]) so that every
+//! simulation run is bit-for-bit reproducible.
 //!
 //! The engine is deliberately synchronous and single-threaded: the
 //! simulated systems (PCIe links, DMA engines, root complexes) are
@@ -33,11 +36,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
+pub mod hash;
 pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod timeline;
 
+pub use arena::{Arena, Handle};
 pub use queue::EventQueue;
 pub use rng::SplitMix64;
 pub use time::SimTime;

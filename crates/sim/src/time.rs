@@ -139,9 +139,19 @@ impl SimTime {
     /// every 4 ns).
     #[inline]
     pub fn quantize_up(self, quantum: u64) -> SimTime {
-        if quantum <= 1 {
-            return self;
+        // The shipped counter quanta (NFP 19.2ns, NetFPGA 4ns) get
+        // constant divisors, which the compiler strength-reduces to
+        // multiplies — this runs once per journalled sample.
+        match quantum {
+            19_200 => self.quantize_up_by(19_200),
+            4_000 => self.quantize_up_by(4_000),
+            0 | 1 => self,
+            q => self.quantize_up_by(q),
         }
+    }
+
+    #[inline(always)]
+    fn quantize_up_by(self, quantum: u64) -> SimTime {
         let rem = self.0 % quantum;
         if rem == 0 {
             self

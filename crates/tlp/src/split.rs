@@ -31,77 +31,139 @@ fn check_args(len: u32, quantum: u32, name: &str) {
     );
 }
 
-/// Splits a DMA write into MWr-sized chunks.
+/// Iterator over the MPS/MRRS-quantised chunks of a transfer — the
+/// allocation-free core of [`split_write`] / [`split_read_requests`].
+/// The per-TLP hot paths iterate this directly: a heap allocation per
+/// DMA would otherwise dominate small-transfer simulation cost.
+#[derive(Debug, Clone)]
+pub struct QuantizedChunks {
+    pos: u64,
+    remaining: u64,
+    /// `quantum - 1`; the quantum is asserted to be a power of two, so
+    /// boundary math is a mask, not a hardware divide.
+    quantum_mask: u64,
+}
+
+impl Iterator for QuantizedChunks {
+    type Item = Chunk;
+
+    #[inline]
+    fn next(&mut self) -> Option<Chunk> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let to_boundary = self.quantum_mask + 1 - (self.pos & self.quantum_mask);
+        let n = self.remaining.min(to_boundary);
+        let c = Chunk {
+            addr: self.pos,
+            len: n as u32,
+        };
+        self.pos += n;
+        self.remaining -= n;
+        Some(c)
+    }
+}
+
+/// Splits a DMA write into MWr-sized chunks without allocating.
 ///
 /// Chunks are bounded by `mps` and never cross a 4 KiB boundary; after
 /// an unaligned start, chunks align themselves to `mps` (the behaviour
 /// of real DMA engines, which keeps every later chunk boundary-safe).
-pub fn split_write(addr: u64, len: u32, mps: u32) -> Vec<Chunk> {
+pub fn write_chunks(addr: u64, len: u32, mps: u32) -> QuantizedChunks {
     check_args(len, mps, "MPS");
-    split_quantized(addr, len, mps)
+    QuantizedChunks {
+        pos: addr,
+        remaining: len as u64,
+        quantum_mask: mps as u64 - 1,
+    }
+}
+
+/// Splits a DMA read into MRd request chunks bounded by `mrrs`,
+/// without allocating.
+pub fn read_request_chunks(addr: u64, len: u32, mrrs: u32) -> QuantizedChunks {
+    check_args(len, mrrs, "MRRS");
+    QuantizedChunks {
+        pos: addr,
+        remaining: len as u64,
+        quantum_mask: mrrs as u64 - 1,
+    }
+}
+
+/// Splits a DMA write into MWr-sized chunks (see [`write_chunks`] for
+/// the allocation-free form used on hot paths).
+pub fn split_write(addr: u64, len: u32, mps: u32) -> Vec<Chunk> {
+    write_chunks(addr, len, mps).collect()
 }
 
 /// Splits a DMA read into MRd request chunks bounded by `mrrs`.
 pub fn split_read_requests(addr: u64, len: u32, mrrs: u32) -> Vec<Chunk> {
-    check_args(len, mrrs, "MRRS");
-    split_quantized(addr, len, mrrs)
+    read_request_chunks(addr, len, mrrs).collect()
 }
 
-/// Common MPS/MRRS splitting: first chunk reaches the next `quantum`
-/// boundary, later chunks are `quantum`-aligned and `quantum`-sized
-/// (except the last). Since `quantum` is a power of two ≤ 4096, aligned
-/// chunks can never straddle a 4 KiB page.
-fn split_quantized(addr: u64, len: u32, quantum: u32) -> Vec<Chunk> {
-    let q = quantum as u64;
-    let mut chunks = Vec::with_capacity((len as usize).div_ceil(quantum as usize) + 1);
-    let mut pos = addr;
-    let mut remaining = len as u64;
-    while remaining > 0 {
-        let to_boundary = q - (pos % q);
-        let n = remaining.min(to_boundary);
-        chunks.push(Chunk {
-            addr: pos,
+/// Iterator over a read's completion stream — the allocation-free core
+/// of [`split_completions`].
+#[derive(Debug, Clone)]
+pub struct CompletionChunks {
+    pos: u64,
+    remaining: u64,
+    /// `mps - 1` / `rcb - 1`; both are asserted powers of two, so
+    /// alignment math is masking, not hardware division.
+    mps_mask: u64,
+    rcb_mask: u64,
+}
+
+impl Iterator for CompletionChunks {
+    type Item = Chunk;
+
+    #[inline]
+    fn next(&mut self) -> Option<Chunk> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let n = if self.pos & self.rcb_mask != 0 {
+            // First completion: align to the RCB.
+            self.remaining
+                .min(self.rcb_mask + 1 - (self.pos & self.rcb_mask))
+        } else {
+            // RCB-aligned: take up to MPS, keeping MPS alignment so the
+            // next chunk also starts RCB-aligned.
+            self.remaining
+                .min(self.mps_mask + 1 - (self.pos & self.mps_mask))
+        };
+        let c = Chunk {
+            addr: self.pos,
             len: n as u32,
-        });
-        pos += n;
-        remaining -= n;
+        };
+        self.pos += n;
+        self.remaining -= n;
+        Some(c)
     }
-    chunks
 }
 
-/// Splits the *completion* stream for a read of `len` bytes at `addr`.
+/// Splits the *completion* stream for a read of `len` bytes at `addr`,
+/// without allocating.
 ///
 /// The first CplD may be short — it must bring the stream to an RCB
 /// boundary; subsequent completions are RCB-aligned and at most MPS
 /// long. `mps` must be a multiple of `rcb`.
-pub fn split_completions(addr: u64, len: u32, mps: u32, rcb: u32) -> Vec<Chunk> {
+pub fn completion_chunks(addr: u64, len: u32, mps: u32, rcb: u32) -> CompletionChunks {
     check_args(len, mps, "MPS");
     assert!(
         rcb >= 4 && rcb.is_power_of_two() && mps.is_multiple_of(rcb),
         "RCB must be a power of two dividing MPS (rcb={rcb}, mps={mps})"
     );
-    let rcb = rcb as u64;
-    let mps = mps as u64;
-    let mut chunks = Vec::new();
-    let mut pos = addr;
-    let mut remaining = len as u64;
-    while remaining > 0 {
-        let n = if !pos.is_multiple_of(rcb) {
-            // First completion: align to the RCB.
-            remaining.min(rcb - (pos % rcb))
-        } else {
-            // RCB-aligned: take up to MPS, keeping MPS alignment so the
-            // next chunk also starts RCB-aligned.
-            remaining.min(mps - (pos % mps))
-        };
-        chunks.push(Chunk {
-            addr: pos,
-            len: n as u32,
-        });
-        pos += n;
-        remaining -= n;
+    CompletionChunks {
+        pos: addr,
+        remaining: len as u64,
+        mps_mask: mps as u64 - 1,
+        rcb_mask: rcb as u64 - 1,
     }
-    chunks
+}
+
+/// Splits the *completion* stream for a read (see [`completion_chunks`]
+/// for the allocation-free form used on hot paths).
+pub fn split_completions(addr: u64, len: u32, mps: u32, rcb: u32) -> Vec<Chunk> {
+    completion_chunks(addr, len, mps, rcb).collect()
 }
 
 /// The PCIe completion `byte_count` sequence for a chunked read:

@@ -6,11 +6,15 @@
 # Usage:
 #   scripts/bench.sh            # quick+paper suites, all figures
 #   scripts/bench.sh --quick    # skip the paper suite (CI / verify.sh)
+#   scripts/bench.sh --compare  # additionally exit 1 if any run's wall
+#                               # time regressed >25% vs the committed
+#                               # baseline (combinable with --quick)
 #
 # Environment:
-#   PCIE_BENCH_THREADS  worker count for the parallel runs
-#                       (default: nproc, i.e. the pool's own default)
-#   PCIE_BENCH_JSON     output path (default: BENCH_sim.json)
+#   PCIE_BENCH_THREADS      worker count for the parallel runs
+#                           (default: nproc, i.e. the pool's own default)
+#   PCIE_BENCH_JSON         output path (default: BENCH_sim.json)
+#   PCIE_BENCH_COMPARE_PCT  --compare tolerance in percent (default: 25)
 #
 # Requires only a POSIX sh plus date/awk/grep/sed — no network access.
 
@@ -18,7 +22,17 @@ set -eu
 cd "$(dirname "$0")/.."
 
 MODE=full
-[ "${1:-}" = "--quick" ] && MODE=quick
+COMPARE=0
+for arg in "$@"; do
+    case $arg in
+    --quick) MODE=quick ;;
+    --compare) COMPARE=1 ;;
+    *)
+        echo "bench.sh: unknown argument '$arg'" >&2
+        exit 2
+        ;;
+    esac
+done
 OUT=${PCIE_BENCH_JSON:-BENCH_sim.json}
 CPUS=$(nproc 2>/dev/null || echo 1)
 THREADS=${PCIE_BENCH_THREADS:-$CPUS}
@@ -82,7 +96,10 @@ Q_SPEEDUP=$(ratio "$Q_SEQ" "$Q_PAR")
 
 # When a previous $OUT exists, print per-entry wall-time deltas against
 # it before overwriting, so a perf swing shows up in the log instead of
-# vanishing with the old file.
+# vanishing with the old file. Under --compare the same pass collects
+# the entries whose wall time grew beyond the tolerance.
+TOL_PCT=${PCIE_BENCH_COMPARE_PCT:-25}
+REGRESSED=""
 if [ -f "$OUT" ]; then
     echo "==> wall-time deltas vs previous $OUT"
     while IFS= read -r run; do
@@ -93,10 +110,17 @@ if [ -f "$OUT" ]; then
             awk "BEGIN{d=$new_w-$old_w; p=($old_w==0)?0:100*d/$old_w; \
                  printf \"==>   %-20s %8.3fs -> %8.3fs  (%+.3fs, %+.1f%%)\n\", \
                  \"$name\", $old_w, $new_w, d, p}" </dev/null
+            if [ "$COMPARE" = 1 ]; then
+                worse=$(awk "BEGIN{print ($new_w > $old_w * (1 + $TOL_PCT / 100)) ? 1 : 0}" </dev/null)
+                [ "$worse" = 1 ] && REGRESSED="$REGRESSED $name"
+            fi
         else
             echo "==>   $name ${new_w}s (no previous entry)"
         fi
     done <"$RUNS_FILE"
+elif [ "$COMPARE" = 1 ]; then
+    echo "bench.sh: --compare needs a committed $OUT baseline, none found" >&2
+    exit 2
 fi
 
 {
@@ -117,3 +141,11 @@ EOF
 } > "$OUT"
 [ "$P_SPEEDUP" = null ] && P_SHOWN="n/a" || P_SHOWN="${P_SPEEDUP}x"
 echo "==> wrote $OUT (quick speedup ${Q_SPEEDUP}x, paper speedup $P_SHOWN)"
+
+if [ "$COMPARE" = 1 ]; then
+    if [ -n "$REGRESSED" ]; then
+        echo "==> FAIL: wall time regressed >${TOL_PCT}% vs baseline:$REGRESSED" >&2
+        exit 1
+    fi
+    echo "==> compare: no run regressed >${TOL_PCT}% vs baseline"
+fi

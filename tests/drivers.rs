@@ -6,6 +6,7 @@
 use pcie_bench_repro::bench::BenchSetup;
 use pcie_bench_repro::device::DmaPath;
 use pcie_bench_repro::drivers::{DriverConfig, DriverPattern, DriverSim, OfferedLoad, PATTERNS};
+use pcie_bench_repro::fault::FaultPlan;
 use pcie_bench_repro::host::buffer::BufferAllocator;
 use pcie_bench_repro::par::Pool;
 use pcie_bench_repro::sim::SimTime;
@@ -161,4 +162,60 @@ fn no_driver_platform_snapshot_is_clean_and_reproducible() {
     );
     let b = run_once();
     assert_eq!(a, b, "no-driver snapshot must be byte-identical per run");
+}
+
+/// Quiescence fast-forward pin, fault-free (BER = 0): a gentle open
+/// loop leaves long idle gaps between packets, so nearly every
+/// iteration declares quiescence and jumps the timing wheel. The
+/// results must be bit-identical run to run, and the exact values are
+/// pinned so a fast-forward that skipped or reordered a coalescing
+/// timer would show up as a changed delivery count or tail latency.
+#[test]
+fn fast_forward_pin_fault_free() {
+    let run_once = || {
+        let cfg = DriverConfig::default().with_load(OfferedLoad::OpenLoopGbps(1.0));
+        let mut s = sim(DriverPattern::KernelIrq, cfg);
+        let r = s.run(64, 2_000);
+        (
+            r.delivered,
+            r.dropped,
+            r.elapsed.as_ps(),
+            r.p99_ns.to_bits(),
+        )
+    };
+    let a = run_once();
+    assert_eq!(a, run_once(), "fast-forwarded run must be deterministic");
+    let (delivered, dropped, _, _) = a;
+    assert_eq!(delivered, 2_000, "gentle load delivers everything");
+    assert_eq!(dropped, 0);
+}
+
+/// The same quiescent low-load run with a lossy link (DLL replays
+/// *and* wheel jumps in the same schedule): accounting must close and
+/// the run must stay bit-deterministic — the fault injector's RNG
+/// stream is part of the schedule, so a fast-forward that perturbed
+/// event order would desynchronise the two runs.
+#[test]
+fn fast_forward_pin_under_faults() {
+    let run_once = || {
+        let cfg = DriverConfig::default().with_load(OfferedLoad::OpenLoopGbps(1.0));
+        let mut platform = BenchSetup::nfp6000_hsw().build_nic_platform();
+        platform.set_fault_plan(&FaultPlan::symmetric_ber(1e-8), 7);
+        let mut s = DriverSim::new(DriverPattern::KernelIrq, cfg, platform);
+        let r = s.run(64, 2_000);
+        (
+            r.delivered,
+            r.dropped,
+            r.elapsed.as_ps(),
+            r.p99_ns.to_bits(),
+        )
+    };
+    let a = run_once();
+    assert_eq!(a, run_once(), "faulty run must be deterministic too");
+    let (delivered, dropped, ..) = a;
+    assert_eq!(
+        delivered + dropped,
+        2_000,
+        "every packet delivered or accounted under faults"
+    );
 }
