@@ -68,6 +68,11 @@ pub mod ring_offsets {
 /// entries available, io_uring registered buffer rings).
 const FILL_POLL: SimTime = SimTime::from_ns(200);
 
+/// Salt folded into the config seed (via [`SplitMix64::salted`]) so
+/// the XDP verdict stream never collides with the fault, flow or
+/// host-jitter stream families derived from the same master seed.
+const DRIVER_STREAM_SALT: u64 = 0x000D_D1E7_5EED_0DD5;
+
 /// Lifetime event counters for one simulation run. Every field is a
 /// plain count; the set is exported as the `driver.<pattern>`
 /// telemetry group by [`DriverSim::snapshot`].
@@ -326,8 +331,7 @@ impl DriverSim {
         let tx_ring =
             pcie_nic::DescriptorRing::new(&desc_buf, TX_RING_OFF, DESC_ENTRY, cfg.ring_size);
         let cq_ring = pcie_nic::DescriptorRing::new(&desc_buf, CQ_RING_OFF, DESC_ENTRY, cq_cap);
-        let mut master = SplitMix64::new(cfg.seed);
-        let rng = master.fork();
+        let rng = SplitMix64::salted(cfg.seed, DRIVER_STREAM_SALT).fork();
         let mut sim = DriverSim {
             pattern,
             cfg,

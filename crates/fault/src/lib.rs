@@ -276,8 +276,9 @@ impl DeviceErrorCounters {
     }
 }
 
-/// Salt folded into the master seed so fault streams never collide
-/// with the access-pattern or host-jitter streams.
+/// Salt folded into the master seed (via [`SplitMix64::salted`]) so
+/// fault streams never collide with the access-pattern or host-jitter
+/// streams.
 const FAULT_STREAM_SALT: u64 = 0x000F_A017_5EED_0BAD;
 
 struct DirInjector {
@@ -307,7 +308,7 @@ impl Injector {
     /// from `seed`. Panics on an invalid plan.
     pub fn new(plan: FaultPlan, seed: u64) -> Self {
         plan.validate().expect("invalid fault plan");
-        let mut root = SplitMix64::new(seed ^ FAULT_STREAM_SALT);
+        let mut root = SplitMix64::salted(seed, FAULT_STREAM_SALT);
         let dirs = [
             DirInjector {
                 rng: root.fork(),

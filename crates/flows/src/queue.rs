@@ -1,0 +1,637 @@
+//! One RX queue: an open-loop, RX-terminating driver simulation.
+//!
+//! Each RSS queue owns a descriptor ring, a completion ring, a packet
+//! buffer and a dedicated service core, and is driven by the packet
+//! schedule the engine steered to it. The device side is the same
+//! timed machinery as `pcie_drivers::DriverSim` — payload DMA writes,
+//! completion write-backs, descriptor fetches and doorbells through
+//! the full link/host model — but the path terminates at the
+//! application (no TX echo): the engine measures *ingest* capacity
+//! and tail latency per queue, which is what RSS fans out.
+//!
+//! Telemetry telescopes over four of the six driver stages
+//! (`rx_dma → notify → rx_sw → app`; the TX stages record zero), so
+//! per-queue breakdowns remain comparable with the driver zoo's.
+
+use pcie_device::{DmaPath, Platform};
+use pcie_host::buffer::BufferAllocator;
+use pcie_host::HostBuffer;
+use pcie_nic::DescriptorRing;
+use pcie_sim::{EventQueue, SimTime};
+use pcie_telemetry::{
+    CounterGroup, DriverStage, DriverStageSample, DriverStageStats, LatencyHistogram,
+};
+use std::collections::VecDeque;
+
+use pcie_drivers::sim::ring_offsets::{CQ_RING_OFF, DESC_ENTRY, RX_RING_OFF};
+use pcie_drivers::{DriverConfig, DriverPattern};
+
+/// Per-queue software service costs and ring geometry.
+///
+/// The queue core busy-polls its completion ring on a fixed iteration
+/// grid and spends `rx_sw + app` per delivered packet; the knobs are
+/// the subset of [`DriverConfig`] that matters for an RX-terminating
+/// path, so [`ServiceModel::from_driver`] can borrow any zoo
+/// pattern's constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceModel {
+    /// Cost of one poll-loop iteration (also the notification
+    /// granularity: a packet is noticed by the first iteration at or
+    /// after its host-memory visibility).
+    pub poll_iter: SimTime,
+    /// Max packets drained per poll iteration.
+    pub burst: u32,
+    /// Per-packet driver RX software cost.
+    pub rx_sw: SimTime,
+    /// Per-packet application cost.
+    pub app: SimTime,
+    /// Buffers consumed before the driver posts a refill batch.
+    pub refill_batch: u32,
+    /// RX and completion ring capacity in slots.
+    pub ring_size: u32,
+}
+
+impl Default for ServiceModel {
+    /// DPDK-flavoured defaults (`DriverConfig::default`'s poll/burst/
+    /// refill knobs with the `dpdk_rx` software cost).
+    fn default() -> Self {
+        ServiceModel::from_driver(DriverPattern::DpdkPoll, &DriverConfig::default())
+    }
+}
+
+impl ServiceModel {
+    /// Derives a service model from a driver-zoo pattern's constants.
+    ///
+    /// Polling patterns keep their iteration grid; interrupt-driven
+    /// patterns are approximated as pollers whose iteration cost is
+    /// the hardirq entry latency — the coarser notification grid is
+    /// what matters for an RX-only path, not the MSI write itself.
+    pub fn from_driver(pattern: DriverPattern, cfg: &DriverConfig) -> ServiceModel {
+        let (poll_iter, rx_sw) = match pattern {
+            DriverPattern::KernelIrq => (cfg.irq_entry, cfg.kernel_rx),
+            DriverPattern::DpdkPoll => (cfg.poll_iter, cfg.dpdk_rx),
+            DriverPattern::AfXdp => (cfg.poll_iter, cfg.xdp_verdict + cfg.afxdp_rx),
+            DriverPattern::IoUring => (cfg.irq_entry, cfg.iouring_cqe),
+        };
+        ServiceModel {
+            poll_iter,
+            burst: cfg.burst,
+            rx_sw,
+            app: cfg.app,
+            refill_batch: cfg.refill_batch,
+            ring_size: cfg.ring_size,
+        }
+    }
+
+    /// Per-packet service capacity of one queue core, packets per
+    /// second (ignores poll and refill overhead, so it is an upper
+    /// bound — the saturation knee sits slightly below it).
+    pub fn capacity_pps(&self) -> f64 {
+        1e9 / (self.rx_sw + self.app).as_ns_f64().max(1.0)
+    }
+
+    /// Checks the knobs are usable.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ring_size < 2 || self.ring_size > 1024 {
+            return Err(format!(
+                "ring_size {} out of range 2..=1024",
+                self.ring_size
+            ));
+        }
+        if self.burst == 0 || self.refill_batch == 0 {
+            return Err("burst and refill_batch must be nonzero".into());
+        }
+        if self.poll_iter == SimTime::ZERO {
+            return Err("poll_iter must be nonzero".into());
+        }
+        Ok(())
+    }
+}
+
+/// One steered packet: arrival time on the wire and payload size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedPacket {
+    /// Wire arrival time.
+    pub at: SimTime,
+    /// Payload bytes.
+    pub size: u32,
+}
+
+/// Event counters for one queue's run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueCounters {
+    /// Packets steered to this queue (arrivals, including drops).
+    pub offered: u64,
+    /// Packets delivered to the application.
+    pub delivered: u64,
+    /// Packets dropped for lack of a posted RX buffer (open loop:
+    /// the wire does not wait).
+    pub dropped: u64,
+    /// Payload bytes offered.
+    pub bytes_offered: u64,
+    /// Payload bytes delivered.
+    pub bytes_delivered: u64,
+    /// Poll iterations that found at least one packet.
+    pub polls: u64,
+    /// Poll iterations that found nothing.
+    pub empty_polls: u64,
+    /// Doorbell (PIO) writes.
+    pub doorbells: u64,
+    /// Refill batches posted.
+    pub refills: u64,
+}
+
+/// Result of one [`QueueSim::run`].
+#[derive(Debug, Clone)]
+pub struct QueueReport {
+    /// Queue number (RSS indirection target).
+    pub queue: u32,
+    /// Event counters.
+    pub counters: QueueCounters,
+    /// Per-stage latency attribution for delivered packets (TX
+    /// stages are zero on this RX-terminating path).
+    pub stages: DriverStageStats,
+    /// Virtual time from first arrival to last delivery/DMA.
+    pub elapsed: SimTime,
+    /// High-water mark of RX descriptor-ring occupancy.
+    pub ring_peak: u32,
+}
+
+impl QueueReport {
+    /// Delivered packets per second, in millions.
+    pub fn mpps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.counters.delivered as f64 / secs / 1e6
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of offered packets dropped.
+    pub fn drop_rate(&self) -> f64 {
+        if self.counters.offered == 0 {
+            0.0
+        } else {
+            self.counters.dropped as f64 / self.counters.offered as f64
+        }
+    }
+
+    /// End-to-end (arrival → application) latency histogram.
+    pub fn e2e(&self) -> &LatencyHistogram {
+        self.stages.end_to_end()
+    }
+
+    /// 99th-percentile end-to-end latency, ns.
+    pub fn p99_ns(&self) -> f64 {
+        self.e2e().quantile_ns(0.99)
+    }
+
+    /// 99.9th-percentile end-to-end latency, ns.
+    pub fn p999_ns(&self) -> f64 {
+        self.e2e().quantile_ns(0.999)
+    }
+
+    /// Counters as the `flows.queue<N>` telemetry group.
+    pub fn telemetry_group(&self) -> CounterGroup {
+        let c = &self.counters;
+        let mut g = CounterGroup::new(format!("flows.queue{}", self.queue));
+        g.push("offered", c.offered)
+            .push("delivered", c.delivered)
+            .push("dropped", c.dropped)
+            .push("bytes_offered", c.bytes_offered)
+            .push("bytes_delivered", c.bytes_delivered)
+            .push("polls", c.polls)
+            .push("empty_polls", c.empty_polls)
+            .push("doorbells", c.doorbells)
+            .push("refills", c.refills)
+            .push("ring_peak", u64::from(self.ring_peak))
+            .push("p99_ns", self.p99_ns() as u64)
+            .push("p999_ns", self.p999_ns() as u64);
+        g
+    }
+}
+
+/// A packet visible in host memory awaiting the queue core.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    arr: SimTime,
+    hw: SimTime,
+    size: u32,
+}
+
+/// A scheduled refill phase not yet issued to the platform — the same
+/// deferred-issuance discipline as `DriverSim` (platform issue ports
+/// are FIFO; issuing out of call order at future want times compounds
+/// into artificial queueing).
+#[derive(Debug, Clone)]
+enum Deferred {
+    /// Driver returns `n` buffers to the ring and rings the doorbell.
+    RefillPost {
+        /// Buffers returned.
+        n: u32,
+    },
+    /// The device fetches the refill descriptors.
+    RefillFetch {
+        /// Coalesced descriptor ranges to fetch.
+        ranges: Vec<(u64, u32)>,
+        /// Buffers credited on completion.
+        n: u32,
+    },
+}
+
+/// One RX queue bound to its own platform. Build, [`QueueSim::run`]
+/// the steered schedule, read the report.
+pub struct QueueSim {
+    queue: u32,
+    model: ServiceModel,
+    platform: Platform,
+    pkt_buf: HostBuffer,
+    desc_buf: HostBuffer,
+    rx_ring: DescriptorRing,
+    cq_ring: DescriptorRing,
+    buffers_avail: u32,
+    refill_events: VecDeque<(SimTime, u32)>,
+    consumed_since_refill: u32,
+    pending: VecDeque<Pending>,
+    deferred: EventQueue<Deferred>,
+    cpu_free: SimTime,
+    next_poll: SimTime,
+    counters: QueueCounters,
+    stages: DriverStageStats,
+    done_max: SimTime,
+    rx_seq: u32,
+    slot_scratch: Vec<u32>,
+    range_scratch: Vec<(u64, u32)>,
+}
+
+impl QueueSim {
+    /// Builds queue `queue` of a multi-queue NIC over a freshly
+    /// constructed `platform`, posts the initial fill, and leaves the
+    /// queue ready for traffic.
+    ///
+    /// # Panics
+    /// On an invalid [`ServiceModel`].
+    pub fn new(queue: u32, model: ServiceModel, platform: Platform) -> QueueSim {
+        model.validate().expect("invalid service model");
+        let mut alloc = BufferAllocator::default_layout();
+        let pkt_buf = alloc.alloc(2 << 20, 0);
+        let desc_buf = alloc.alloc(64 * 1024, 0);
+        let rx_ring = DescriptorRing::new(&desc_buf, RX_RING_OFF, DESC_ENTRY, model.ring_size);
+        let cq_ring = DescriptorRing::new(&desc_buf, CQ_RING_OFF, DESC_ENTRY, model.ring_size);
+        let mut sim = QueueSim {
+            queue,
+            model,
+            platform,
+            pkt_buf,
+            desc_buf,
+            rx_ring,
+            cq_ring,
+            buffers_avail: 0,
+            refill_events: VecDeque::new(),
+            consumed_since_refill: 0,
+            pending: VecDeque::new(),
+            deferred: EventQueue::new(),
+            cpu_free: SimTime::ZERO,
+            next_poll: SimTime::ZERO,
+            counters: QueueCounters::default(),
+            stages: DriverStageStats::new(),
+            done_max: SimTime::ZERO,
+            rx_seq: 0,
+            slot_scratch: Vec::with_capacity(1024),
+            range_scratch: Vec::with_capacity(8),
+        };
+        // Rings and packet buffers are continuously driver-touched
+        // and stay cache-resident (as in DriverSim/NicSim).
+        sim.platform.host.host_warm(&sim.desc_buf, 0, 64 * 1024);
+        sim.platform.host.host_warm(&sim.pkt_buf, 0, 2 << 20);
+        // Initial fill: post the whole ring before enabling RX.
+        let initial = sim.rx_ring.free();
+        sim.rx_ring.produce_into(initial, &mut sim.slot_scratch);
+        sim.counters.doorbells += 1;
+        let t0 = sim.platform.pio_write(SimTime::ZERO, 4);
+        sim.rx_ring
+            .dma_ranges_into(&sim.slot_scratch, &mut sim.range_scratch);
+        let mut done = t0;
+        for i in 0..sim.range_scratch.len() {
+            let (off, len) = sim.range_scratch[i];
+            let r = sim
+                .platform
+                .dma_read(t0, &sim.desc_buf, off, len, DmaPath::DmaEngine);
+            done = done.max(r.done);
+        }
+        sim.buffers_avail = initial;
+        sim.done_max = done;
+        sim
+    }
+
+    /// Offers `packets` (non-decreasing arrival times) to the queue
+    /// and drains everything, consuming the simulation.
+    ///
+    /// # Panics
+    /// Panics if arrival times decrease.
+    pub fn run(mut self, packets: &[QueuedPacket]) -> QueueReport {
+        let mut last = SimTime::ZERO;
+        for p in packets {
+            assert!(p.at >= last, "arrivals must be time-ordered");
+            last = p.at;
+            self.advance(p.at);
+            self.apply_refills(p.at);
+            if self.deferred.is_empty() {
+                // Quiescent gap: let the timing wheel jump its cursor
+                // instead of cascading across the idle stretch.
+                self.deferred.fast_forward(p.at);
+            }
+            self.counters.offered += 1;
+            self.counters.bytes_offered += u64::from(p.size);
+            if self.buffers_avail == 0 {
+                // Open loop: no posted buffer, the MAC drops.
+                self.counters.dropped += 1;
+                continue;
+            }
+            self.device_rx(p.at, p.size);
+        }
+        self.advance(SimTime::MAX);
+        QueueReport {
+            queue: self.queue,
+            counters: self.counters,
+            elapsed: self.done_max,
+            ring_peak: self.rx_ring.max_used(),
+            stages: self.stages,
+        }
+    }
+
+    /// Read access to the underlying platform (for snapshots).
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    // ----- device side ---------------------------------------------
+
+    /// One packet off the wire: consume a posted buffer, DMA the
+    /// payload, write the completion entry.
+    fn device_rx(&mut self, arr: SimTime, size: u32) {
+        debug_assert!(self.buffers_avail > 0);
+        self.rx_ring.consume_into(1, &mut self.slot_scratch);
+        debug_assert!(!self.slot_scratch.is_empty());
+        self.buffers_avail -= 1;
+
+        let slots = (self.pkt_buf.len() / 2048) as u32;
+        let off = u64::from(self.rx_seq % slots) * 2048;
+        self.rx_seq = self.rx_seq.wrapping_add(1);
+        let payload = self
+            .platform
+            .dma_write(arr, &self.pkt_buf, off, size, DmaPath::DmaEngine);
+        // Completion entry. The CQ has the same capacity as the RX
+        // ring and every pending packet holds a buffer, so a slot is
+        // always free here.
+        self.cq_ring.produce_into(1, &mut self.slot_scratch);
+        debug_assert!(!self.slot_scratch.is_empty(), "CQ cannot outgrow the ring");
+        let cq_off = self.cq_ring.slot_offset(self.slot_scratch[0]);
+        let wb =
+            self.platform
+                .dma_write(arr, &self.desc_buf, cq_off, DESC_ENTRY, DmaPath::DmaEngine);
+        let hw = payload.absorbed.max(wb.absorbed);
+        self.done_max = self.done_max.max(hw);
+        self.pending.push_back(Pending { arr, hw, size });
+    }
+
+    // ----- driver side ---------------------------------------------
+
+    /// Runs every driver event ≤ `until` in time order (scheduled
+    /// refill phases win ties — they were decided by earlier rounds).
+    fn advance(&mut self, until: SimTime) {
+        loop {
+            let trigger = self.next_service_time();
+            let phase = self.deferred.peek_time();
+            match (trigger, phase) {
+                (_, Some(ti)) if ti <= until && trigger.is_none_or(|tt| ti <= tt) => {
+                    let (at, action) = self.deferred.pop().unwrap();
+                    self.issue(at, action);
+                }
+                (Some(tt), _) if tt <= until => self.service(tt),
+                _ => break,
+            }
+        }
+    }
+
+    /// The first poll-grid tick that notices the oldest pending
+    /// packet, or `None` if nothing is pending.
+    fn next_service_time(&self) -> Option<SimTime> {
+        let first = self.pending.front()?;
+        let base = self.next_poll.max(self.cpu_free);
+        Some(poll_tick_at_or_after(base, self.model.poll_iter, first.hw))
+    }
+
+    /// One poll round at `t`: drain up to `burst` visible packets.
+    fn service(&mut self, t: SimTime) {
+        self.apply_refills(t);
+        let base = self.next_poll.max(self.cpu_free);
+        if t > base {
+            let gap = t.saturating_sub(base).as_ns();
+            self.counters.empty_polls += gap / self.model.poll_iter.as_ns().max(1);
+        }
+        self.counters.polls += 1;
+        let aware = t + self.model.poll_iter;
+        let start = aware.max(self.cpu_free);
+
+        let mut served = 0u32;
+        let mut now = start;
+        while served < self.model.burst {
+            let Some(p) = self.pending.front() else { break };
+            if p.hw > start {
+                break;
+            }
+            let p = self.pending.pop_front().unwrap();
+            self.cq_ring.consume_into(1, &mut self.slot_scratch);
+            let proc_done = now + self.model.rx_sw;
+            let app_done = proc_done + self.model.app;
+            now = app_done;
+            let mut sample = DriverStageSample::default();
+            sample
+                .set(DriverStage::RxDma, diff_ns(p.hw, p.arr))
+                .set(DriverStage::Notify, diff_ns(aware, p.hw))
+                .set(DriverStage::RxSoftware, diff_ns(proc_done, aware))
+                .set(DriverStage::App, diff_ns(app_done, proc_done));
+            self.stages.record(&sample);
+            self.counters.delivered += 1;
+            self.counters.bytes_delivered += u64::from(p.size);
+            self.done_max = self.done_max.max(app_done);
+            served += 1;
+        }
+        debug_assert!(served > 0, "service round found nothing");
+        self.cpu_free = now;
+        self.next_poll = now;
+
+        // Buffers return only after their packets are processed.
+        self.consumed_since_refill += served;
+        let threshold = self.model.refill_batch.min(self.model.ring_size / 2).max(1);
+        if self.consumed_since_refill >= threshold {
+            let n = self.consumed_since_refill;
+            self.consumed_since_refill = 0;
+            self.deferred
+                .push_labeled(self.cpu_free, "queue-refill", Deferred::RefillPost { n });
+        }
+    }
+
+    /// Issues one scheduled refill phase at its event time `at`; all
+    /// platform calls carry `want == at`.
+    fn issue(&mut self, at: SimTime, action: Deferred) {
+        match action {
+            Deferred::RefillPost { n } => {
+                self.counters.refills += 1;
+                self.rx_ring.produce_into(n, &mut self.slot_scratch);
+                debug_assert_eq!(self.slot_scratch.len() as u32, n, "freelist accounting");
+                self.counters.doorbells += 1;
+                let fetch_at = self.platform.pio_write(at, 4);
+                self.rx_ring
+                    .dma_ranges_into(&self.slot_scratch, &mut self.range_scratch);
+                let ranges = self.range_scratch.clone();
+                self.deferred.push_labeled(
+                    fetch_at,
+                    "queue-refill",
+                    Deferred::RefillFetch { ranges, n },
+                );
+            }
+            Deferred::RefillFetch { ranges, n } => {
+                let mut done = at;
+                for (off, len) in ranges {
+                    let r =
+                        self.platform
+                            .dma_read(at, &self.desc_buf, off, len, DmaPath::DmaEngine);
+                    done = done.max(r.done);
+                }
+                self.refill_events.push_back((done, n));
+            }
+        }
+    }
+
+    /// Credits refill batches whose descriptor fetch completed by
+    /// `now`.
+    fn apply_refills(&mut self, now: SimTime) {
+        let mut credited = 0u32;
+        self.refill_events.retain(|&(t, n)| {
+            if t <= now {
+                credited += n;
+                false
+            } else {
+                true
+            }
+        });
+        self.buffers_avail += credited;
+    }
+}
+
+/// First tick of a `step`-spaced grid anchored at `base` at or after
+/// `target`.
+fn poll_tick_at_or_after(base: SimTime, step: SimTime, target: SimTime) -> SimTime {
+    if base >= target {
+        return base;
+    }
+    let gap = target.saturating_sub(base).as_ps();
+    let step_ps = step.as_ps().max(1);
+    let k = gap.div_ceil(step_ps);
+    base.saturating_add(SimTime::from_ps(k.saturating_mul(step_ps)))
+}
+
+/// Non-negative difference in nanoseconds.
+fn diff_ns(later: SimTime, earlier: SimTime) -> f64 {
+    later.saturating_sub(earlier).as_ns_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcie_telemetry::DRIVER_STAGES;
+    use pciebench::BenchSetup;
+
+    fn platform() -> Platform {
+        BenchSetup::nfp6000_hsw().build_nic_platform()
+    }
+
+    fn paced(n: usize, gap_ns: u64, size: u32) -> Vec<QueuedPacket> {
+        (0..n as u64)
+            .map(|i| QueuedPacket {
+                at: SimTime::from_ns(i * gap_ns),
+                size,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn underload_delivers_everything() {
+        let sim = QueueSim::new(0, ServiceModel::default(), platform());
+        // 2 Mpps against an ~11 Mpps core: zero drops.
+        let r = sim.run(&paced(5_000, 500, 128));
+        assert_eq!(r.counters.offered, 5_000);
+        assert_eq!(r.counters.delivered, 5_000);
+        assert_eq!(r.counters.dropped, 0);
+        assert!(r.mpps() > 1.0);
+        assert!(r.p99_ns() > 0.0);
+        assert!(r.p999_ns() >= r.p99_ns());
+    }
+
+    #[test]
+    fn overload_drops_open_loop() {
+        let model = ServiceModel::default();
+        let sim = QueueSim::new(0, model, platform());
+        // Offer ~3x the service capacity: the ring must fill and the
+        // excess must drop, with exact accounting.
+        let gap = ((model.rx_sw + model.app).as_ns() / 3).max(1);
+        let r = sim.run(&paced(20_000, gap, 128));
+        assert_eq!(r.counters.offered, 20_000);
+        assert!(r.counters.dropped > 5_000, "dropped {}", r.counters.dropped);
+        assert_eq!(
+            r.counters.delivered + r.counters.dropped,
+            r.counters.offered
+        );
+        // The ring keeps a one-slot producer/consumer gap, so the
+        // fullest it gets is capacity - 1.
+        assert_eq!(r.ring_peak, model.ring_size - 1, "ring hit its capacity");
+    }
+
+    #[test]
+    fn stage_sums_telescope_with_zero_tx() {
+        let sim = QueueSim::new(0, ServiceModel::default(), platform());
+        let r = sim.run(&paced(2_000, 300, 256));
+        let grand = r.stages.grand_total_ns();
+        let per_stage: f64 = DRIVER_STAGES.iter().map(|&s| r.stages.total_ns(s)).sum();
+        assert!((grand - per_stage).abs() < 1e-6 * grand.max(1.0));
+        assert_eq!(r.stages.total_ns(DriverStage::TxPost), 0.0);
+        assert_eq!(r.stages.total_ns(DriverStage::TxDma), 0.0);
+        assert_eq!(r.stages.packets(), 2_000);
+    }
+
+    #[test]
+    fn runs_are_bit_reproducible() {
+        let run =
+            || QueueSim::new(3, ServiceModel::default(), platform()).run(&paced(3_000, 120, 64));
+        let (a, b) = (run(), run());
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.e2e(), b.e2e());
+    }
+
+    #[test]
+    fn from_driver_patterns_rank_sensibly() {
+        let cfg = DriverConfig::default();
+        let dpdk = ServiceModel::from_driver(DriverPattern::DpdkPoll, &cfg);
+        let kern = ServiceModel::from_driver(DriverPattern::KernelIrq, &cfg);
+        assert!(dpdk.capacity_pps() > kern.capacity_pps());
+        dpdk.validate().unwrap();
+        kern.validate().unwrap();
+    }
+
+    #[test]
+    fn service_model_validation() {
+        let mut m = ServiceModel::default();
+        m.ring_size = 1;
+        assert!(m.validate().is_err());
+        let mut m = ServiceModel::default();
+        m.burst = 0;
+        assert!(m.validate().is_err());
+        let mut m = ServiceModel::default();
+        m.poll_iter = SimTime::ZERO;
+        assert!(m.validate().is_err());
+    }
+}

@@ -131,6 +131,35 @@ impl LatencyHistogram {
         (self.buckets.len() as u64 * self.bucket_width_ns) as f64
     }
 
+    /// Folds `other` into `self` bucket-by-bucket, so per-worker
+    /// histograms recorded independently (one per RSS queue, one per
+    /// grid point) aggregate into exact whole-run quantiles — summing
+    /// counts commutes, so the merge order cannot perturb the result.
+    ///
+    /// # Panics
+    /// Panics if the two histograms have different geometry.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert_eq!(
+            (self.bucket_width_ns, self.buckets.len()),
+            (other.bucket_width_ns, other.buckets.len()),
+            "merging histograms of different geometry"
+        );
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.overflow = self.overflow.saturating_add(other.overflow);
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        if other.count > 0 {
+            if other.min_ns < self.min_ns {
+                self.min_ns = other.min_ns;
+            }
+            if other.max_ns > self.max_ns {
+                self.max_ns = other.max_ns;
+            }
+        }
+    }
+
     /// Buckets with at least one sample, as
     /// `(bucket_start_ns, count)` pairs; the overflow bucket, if
     /// populated, appears last with its start offset.
@@ -218,6 +247,34 @@ mod tests {
         h.record_ns(12.0);
         h.record_ns(99.0);
         assert_eq!(h.nonzero(), vec![(10, 1), (30, 1)]);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LatencyHistogram::new(10, 5);
+        let mut b = LatencyHistogram::new(10, 5);
+        let mut whole = LatencyHistogram::new(10, 5);
+        for v in [5.0, 15.0, 200.0] {
+            a.record_ns(v);
+            whole.record_ns(v);
+        }
+        for v in [3.0, 47.0] {
+            b.record_ns(v);
+            whole.record_ns(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole, "merge must equal a single-recorder run");
+        // Merging an empty histogram is the identity.
+        let before = a.clone();
+        a.merge(&LatencyHistogram::new(10, 5));
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "different geometry")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = LatencyHistogram::new(10, 5);
+        a.merge(&LatencyHistogram::new(25, 5));
     }
 
     #[test]

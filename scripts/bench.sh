@@ -91,6 +91,7 @@ for fig in fig4_baseline_bw fig5_latency_size fig7_cache_ddio fig8_numa fig9_iom
     fig_run "$fig"
 done
 fig_run ext_drivers --quick
+fig_run ext_flows --quick
 
 Q_SPEEDUP=$(ratio "$Q_SEQ" "$Q_PAR")
 

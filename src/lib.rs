@@ -25,6 +25,10 @@
 //!   (MSI coalescing), DPDK busy polling, AF_XDP fill/completion
 //!   rings and io_uring SQ/CQ, all over the same timed platform,
 //!   with six-stage telescoping latency attribution;
+//! * [`flows`] — the million-flow traffic engine: Toeplitz RSS
+//!   steering onto per-queue descriptor rings, a slab-backed flow
+//!   table for 10⁵–10⁷ concurrent flows, declarative open-loop
+//!   traffic profiles, and a deterministic multi-queue engine;
 //! * [`par`] — the deterministic scoped worker pool that fans
 //!   independent grid points across cores (`PCIE_BENCH_THREADS`)
 //!   while keeping results bit-identical to a sequential run.
@@ -52,6 +56,7 @@
 pub use pcie_device as device;
 pub use pcie_drivers as drivers;
 pub use pcie_fault as fault;
+pub use pcie_flows as flows;
 pub use pcie_host as host;
 pub use pcie_link as link;
 pub use pcie_model as model;
