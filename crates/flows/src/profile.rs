@@ -233,6 +233,30 @@ impl TrafficProfile {
         }
     }
 
+    /// The quick tier with the headline tail: the same 10k-flow /
+    /// 20k-packet scale as [`TrafficProfile::quick`], but with the
+    /// million-flow profile's heavy-tailed flow lengths (elephants up
+    /// to 10k packets) and bounded-Pareto wire sizes instead of fixed
+    /// 128 B — a fast smoke test of the full mice-and-elephants mix
+    /// that `--quick` runs can afford.
+    pub fn quick_pareto(pps: f64) -> TrafficProfile {
+        TrafficProfile {
+            flows: 10_000,
+            packets: 20_000,
+            arrival: ArrivalProcess::Poisson { pps },
+            flow_length: FlowLength::BoundedPareto {
+                min: 1,
+                max: 10_000,
+                alpha: 1.2,
+            },
+            sizes: Workload::Pareto {
+                min: 64,
+                max: 1500,
+                alpha: 1.2,
+            },
+        }
+    }
+
     /// The headline configuration: 1.25 million concurrent flows,
     /// Poisson arrivals at `pps`, heavy-tailed flow lengths, IMIX
     /// packet sizes.

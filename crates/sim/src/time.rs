@@ -62,7 +62,7 @@ impl SimTime {
     #[inline]
     pub fn from_ns_f64(ns: f64) -> Self {
         if ns.is_finite() && ns > 0.0 {
-            SimTime((ns * 1_000.0).round() as u64)
+            SimTime(round_positive(ns * 1_000.0))
         } else {
             SimTime(0)
         }
@@ -222,7 +222,32 @@ pub fn transfer_time(bytes: u64, bits_per_sec: f64) -> SimTime {
     debug_assert!(bits_per_sec > 0.0, "rate must be positive");
     let bits = (bytes as f64) * 8.0;
     let secs = bits / bits_per_sec;
-    SimTime::from_ps((secs * 1e12).ceil() as u64)
+    SimTime::from_ps(ceil_positive(secs * 1e12))
+}
+
+/// `x.ceil() as u64` for non-negative `x`, without the libm `ceil`
+/// call (x86-64 baseline has no direct rounding instruction, so
+/// `f64::ceil` compiles to a function call — measurable at one call
+/// per TLP serialisation). For non-negative `x`, `x as u64` truncates
+/// (= floor), and truncation is exact whenever the result fits, so
+/// `floor < x` decides the +1 exactly; above 2^53, `x` is already an
+/// integer and the comparison is false. Values beyond `u64::MAX`
+/// saturate, as the original cast did.
+#[inline(always)]
+fn ceil_positive(x: f64) -> u64 {
+    let t = x as u64;
+    t.saturating_add(u64::from((t as f64) < x))
+}
+
+/// `x.round() as u64` for non-negative `x` (round half away from
+/// zero, exactly as `f64::round`), without the libm `round` call —
+/// one call per jitter sample otherwise. `x - floor(x)` is exact for
+/// `x < 2^53` (Sterbenz), so comparing the fraction against 0.5
+/// reproduces `round` bit-for-bit; above 2^53 the fraction is zero.
+#[inline(always)]
+fn round_positive(x: f64) -> u64 {
+    let t = x as u64;
+    t.saturating_add(u64::from(x - (t as f64) >= 0.5))
 }
 
 #[cfg(test)]
@@ -290,6 +315,40 @@ mod tests {
         // 1500 bytes at 40Gb/s = 300ns.
         let t = transfer_time(1500, 40e9);
         assert_eq!(t.as_ns(), 300);
+    }
+
+    #[test]
+    fn branchless_rounding_matches_libm_exactly() {
+        // The hot-path helpers must agree with the libm calls they
+        // replaced on every input class: exact integers, halfway
+        // points, values past 2^53 (no fractional part representable),
+        // and a broad seeded sweep of realistic magnitudes.
+        let edge = [
+            0.0,
+            0.5,
+            0.49999999999999994, // largest f64 < 0.5
+            1.0,
+            1.5,
+            2.5,
+            127.0,
+            127.000000001,
+            9.007199254740992e15, // 2^53
+            9.007199254740994e15,
+            1.8e19, // near u64::MAX
+        ];
+        for &x in &edge {
+            assert_eq!(ceil_positive(x), x.ceil() as u64, "ceil({x})");
+            assert_eq!(round_positive(x), x.round() as u64, "round({x})");
+        }
+        let mut rng = crate::SplitMix64::new(0xCE11_FA57);
+        for _ in 0..100_000 {
+            // Magnitudes from sub-ps fractions up to ~10^12 ps (1s).
+            let mant = rng.next_f64();
+            let exp = rng.range(0, 41) as i32; // 2^0 .. 2^40
+            let x = mant * f64::powi(2.0, exp);
+            assert_eq!(ceil_positive(x), x.ceil() as u64, "ceil({x})");
+            assert_eq!(round_positive(x), x.round() as u64, "round({x})");
+        }
     }
 
     #[test]

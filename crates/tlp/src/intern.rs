@@ -1,0 +1,331 @@
+//! TLP header-template interning: serialisation by patching.
+//!
+//! Within a sweep, consecutive TLPs of one kind differ only in their
+//! *varying* fields — address, tag, length, byte count — while the
+//! fmt/type byte, traffic class and requester/completer ID are fixed
+//! per traffic source. [`TemplateInterner`] caches the emitted header
+//! bytes per `(kind, stable ID)` template and serialises subsequent
+//! TLPs by copying the template and patching the varying fields,
+//! skipping the per-field encoding of a from-scratch
+//! [`TlpRepr::emit`]. (Traffic class would be part of the template key
+//! too, but [`TlpRepr`] pins TC = 0 on every TLP it emits, so it
+//! cannot vary between entries.)
+//!
+//! Exactness: an interned emit is byte-identical to
+//! [`TlpRepr::emit`] — the template supplies exactly the bytes that
+//! are a pure function of the key, every other header byte is
+//! re-encoded per call, and the payload is zero-filled the same way.
+//! The property pin in `tests/properties.rs` holds the two paths equal
+//! across all TLP kinds, sizes and MPS/MRRS/RCB geometries.
+
+use crate::packet::{Error, Packet, TlpRepr};
+use crate::types::TlpType;
+
+/// Distinct templates kept; a device conversation involves a handful
+/// of (kind, ID) pairs at once.
+const INTERN_CAP: usize = 8;
+
+#[derive(Debug, Clone, Copy)]
+struct Template {
+    key: (TlpType, u16),
+    /// Emitted header bytes (first `key.0.header_len()` are valid).
+    hdr: [u8; 16],
+    /// Logical timestamp of last use (LRU victim = smallest).
+    used: u64,
+}
+
+/// An interning serialiser: [`TemplateInterner::emit`] is a drop-in,
+/// byte-identical replacement for [`TlpRepr::emit`] that amortises
+/// header encoding across TLPs sharing a template.
+#[derive(Debug, Default)]
+pub struct TemplateInterner {
+    entries: Vec<Template>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// The header field that identifies a TLP's template alongside its
+/// kind: the requester ID for requests, the completer ID for
+/// completions — the party whose identity is burned into the stream.
+fn stable_id(repr: &TlpRepr) -> u16 {
+    match *repr {
+        TlpRepr::MemRead { requester, .. }
+        | TlpRepr::MemWrite { requester, .. }
+        | TlpRepr::ConfigRead { requester, .. }
+        | TlpRepr::ConfigWrite { requester, .. } => requester.to_u16(),
+        TlpRepr::Completion { completer, .. } => completer.to_u16(),
+    }
+}
+
+impl TemplateInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        TemplateInterner::default()
+    }
+
+    /// Template-cache hits and misses so far (diagnostics).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Emits `repr` into `packet`, byte-identical to
+    /// [`TlpRepr::emit`] (including the `Err` on truncated buffers or
+    /// malformed fields), reusing the cached header template for
+    /// `(kind, ID)` when one exists.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(
+        &mut self,
+        repr: &TlpRepr,
+        packet: &mut Packet<T>,
+    ) -> Result<(), Error> {
+        let ty = repr.tlp_type();
+        let key = (ty, stable_id(repr));
+        self.clock += 1;
+        let clock = self.clock;
+        let Some(i) = self.entries.iter().position(|e| e.key == key) else {
+            // Miss: serialise from scratch and capture the header.
+            repr.emit(packet)?;
+            self.misses += 1;
+            if self.entries.len() >= INTERN_CAP {
+                let victim = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.used)
+                    .map(|(i, _)| i)
+                    .expect("cache non-empty at capacity");
+                self.entries.swap_remove(victim);
+            }
+            let mut hdr = [0u8; 16];
+            let n = ty.header_len();
+            hdr[..n].copy_from_slice(&packet.buffer_bytes()[..n]);
+            self.entries.push(Template {
+                key,
+                hdr,
+                used: clock,
+            });
+            return Ok(());
+        };
+        if packet.buffer_bytes().len() < repr.buffer_len() {
+            return Err(Error::Truncated);
+        }
+        let hdr_len = ty.header_len();
+        let len_dw = repr.len_dw();
+        let tpl = {
+            let e = &mut self.entries[i];
+            e.used = clock;
+            e.hdr
+        };
+        self.hits += 1;
+
+        // Validation mirrors `TlpRepr::emit` so the two paths agree on
+        // `Err` as well as on bytes.
+        let d = packet.buffer_bytes_mut();
+        d[..hdr_len].copy_from_slice(&tpl[..hdr_len]);
+        // DW0 length bits vary per TLP (the template fixes fmt/type,
+        // TC and the digest flag).
+        let raw = if len_dw == 1024 { 0 } else { len_dw.max(1) };
+        d[2] = (d[2] & !0x3) | ((raw >> 8) as u8 & 0x3);
+        d[3] = raw as u8;
+        match *repr {
+            TlpRepr::MemRead {
+                addr,
+                len_bytes,
+                addr64,
+                ..
+            }
+            | TlpRepr::MemWrite {
+                addr,
+                len_bytes,
+                addr64,
+                ..
+            } => {
+                let tag = match *repr {
+                    TlpRepr::MemRead { tag, .. } => tag,
+                    _ => crate::types::Tag(0),
+                };
+                if tag.0 > 0xff {
+                    return Err(Error::Malformed);
+                }
+                if len_bytes == 0 || len_bytes > 4096 {
+                    return Err(Error::Malformed);
+                }
+                let (first_be, last_be) = crate::packet::byte_enables(addr, len_bytes);
+                d[6] = tag.0 as u8;
+                d[7] = (last_be << 4) | first_be;
+                let dw_addr = addr & !0x3;
+                if addr64 {
+                    d[8..12].copy_from_slice(&((dw_addr >> 32) as u32).to_be_bytes());
+                    d[12..16].copy_from_slice(&((dw_addr as u32) & !0x3).to_be_bytes());
+                } else {
+                    if dw_addr > u32::MAX as u64 {
+                        return Err(Error::Malformed);
+                    }
+                    d[8..12].copy_from_slice(&((dw_addr as u32) & !0x3).to_be_bytes());
+                }
+                if ty.has_data() {
+                    let len = len_dw as usize * 4;
+                    d[hdr_len..hdr_len + len].fill(0);
+                }
+            }
+            TlpRepr::ConfigRead {
+                completer,
+                tag,
+                register,
+                ..
+            }
+            | TlpRepr::ConfigWrite {
+                completer,
+                tag,
+                register,
+                ..
+            } => {
+                if tag.0 > 0xff || register > 0x3ff {
+                    return Err(Error::Malformed);
+                }
+                d[6] = tag.0 as u8;
+                d[8..10].copy_from_slice(&completer.to_u16().to_be_bytes());
+                d[10] = ((register >> 6) & 0xf) as u8;
+                d[11] = ((register & 0x3f) << 2) as u8;
+                if ty.has_data() {
+                    d[12..16].fill(0);
+                }
+            }
+            TlpRepr::Completion {
+                requester,
+                tag,
+                status,
+                byte_count,
+                lower_addr,
+                len_dw,
+                ..
+            } => {
+                if tag.0 > 0xff || byte_count > 4096 || lower_addr > 0x7f {
+                    return Err(Error::Malformed);
+                }
+                let bc = if byte_count == 4096 { 0 } else { byte_count };
+                d[6] = (status.to_bits() << 5) | ((bc >> 8) as u8 & 0xf);
+                d[7] = bc as u8;
+                d[8..10].copy_from_slice(&requester.to_u16().to_be_bytes());
+                d[10] = tag.0 as u8;
+                d[11] = lower_addr;
+                if len_dw > 0 {
+                    let len = len_dw as usize * 4;
+                    d[12..12 + len].fill(0);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{CplStatus, DeviceId, Tag};
+
+    fn both(interner: &mut TemplateInterner, repr: TlpRepr) -> (Vec<u8>, Vec<u8>) {
+        let n = repr.buffer_len();
+        let mut direct = vec![0xa5u8; n];
+        repr.emit(&mut Packet::new_unchecked(&mut direct)).unwrap();
+        let mut interned = vec![0x5au8; n];
+        interner
+            .emit(&repr, &mut Packet::new_unchecked(&mut interned))
+            .unwrap();
+        (direct, interned)
+    }
+
+    #[test]
+    fn interned_equals_direct_on_repeat_and_first_use() {
+        let mut it = TemplateInterner::new();
+        let dev = DeviceId::new(5, 0, 0);
+        for (i, addr) in [0x1000u64, 0x2008, 0x3fc4, 0x7_0000_0040]
+            .iter()
+            .enumerate()
+        {
+            let r = TlpRepr::MemRead {
+                requester: dev,
+                tag: Tag(i as u16),
+                addr: *addr,
+                len_bytes: 64 + i as u32,
+                addr64: true,
+            };
+            let (direct, interned) = both(&mut it, r);
+            assert_eq!(direct, interned, "MemRead #{i}");
+        }
+        let (hits, misses) = it.stats();
+        assert_eq!((hits, misses), (3, 1), "one template, three replays");
+    }
+
+    #[test]
+    fn templates_do_not_leak_across_ids_or_kinds() {
+        let mut it = TemplateInterner::new();
+        for bus in [1u8, 2, 3] {
+            let dev = DeviceId::new(bus, 0, 0);
+            let wr = TlpRepr::MemWrite {
+                requester: dev,
+                addr: 0x9000 + bus as u64 * 4,
+                len_bytes: 32,
+                addr64: false,
+            };
+            let (d, i) = both(&mut it, wr);
+            assert_eq!(d, i, "MemWrite bus {bus}");
+            let cpl = TlpRepr::Completion {
+                completer: dev,
+                requester: DeviceId::new(0, 0, 0),
+                tag: Tag(bus as u16),
+                status: CplStatus::Success,
+                byte_count: 128,
+                lower_addr: (bus & 0x7f) as u8,
+                len_dw: 8,
+            };
+            let (d, i) = both(&mut it, cpl);
+            assert_eq!(d, i, "Completion bus {bus}");
+        }
+    }
+
+    #[test]
+    fn interned_rejects_malformed_like_direct() {
+        let mut it = TemplateInterner::new();
+        let dev = DeviceId::new(0, 0, 0);
+        // Prime the template with a valid TLP first, so rejection runs
+        // on the patch path, not the miss path.
+        let ok = TlpRepr::MemRead {
+            requester: dev,
+            tag: Tag(1),
+            addr: 0x1000,
+            len_bytes: 4,
+            addr64: false,
+        };
+        let mut buf = vec![0u8; 16];
+        it.emit(&ok, &mut Packet::new_unchecked(&mut buf)).unwrap();
+        let bad = TlpRepr::MemRead {
+            requester: dev,
+            tag: Tag(999),
+            addr: 0x1000,
+            len_bytes: 4,
+            addr64: false,
+        };
+        assert_eq!(
+            it.emit(&bad, &mut Packet::new_unchecked(&mut buf)),
+            Err(Error::Malformed)
+        );
+        let bad = TlpRepr::MemRead {
+            requester: dev,
+            tag: Tag(1),
+            addr: 0x1_0000_0000,
+            len_bytes: 4,
+            addr64: false,
+        };
+        assert_eq!(
+            it.emit(&bad, &mut Packet::new_unchecked(&mut buf)),
+            Err(Error::Malformed),
+            "32-bit header cannot address above 4GiB"
+        );
+        let mut short = vec![0u8; 8];
+        assert_eq!(
+            it.emit(&ok, &mut Packet::new_unchecked(&mut short)),
+            Err(Error::Truncated)
+        );
+    }
+}

@@ -7,14 +7,24 @@
 #   scripts/bench.sh            # quick+paper suites, all figures
 #   scripts/bench.sh --quick    # skip the paper suite (CI / verify.sh)
 #   scripts/bench.sh --compare  # additionally exit 1 if any run's wall
-#                               # time regressed >25% vs the committed
-#                               # baseline (combinable with --quick)
+#                               # time regressed >25% (and >50 ms) vs
+#                               # the committed baseline, or any
+#                               # ext_hotpath component cost regressed
+#                               # beyond its (wider) tolerance and a
+#                               # 0.5 ns floor (combinable with --quick)
+#   scripts/bench.sh --update   # regenerate the committed baseline;
+#                               # refuses to run on a dirty git tree so
+#                               # the new numbers are attributable to a
+#                               # commit
 #
 # Environment:
 #   PCIE_BENCH_THREADS      worker count for the parallel runs
 #                           (default: nproc, i.e. the pool's own default)
 #   PCIE_BENCH_JSON         output path (default: BENCH_sim.json)
 #   PCIE_BENCH_COMPARE_PCT  --compare tolerance in percent (default: 25)
+#   PCIE_BENCH_BUDGET_PCT   --compare tolerance for per-component
+#                           ext_hotpath costs (default: 60 — ns-scale
+#                           microbench loops are noisier than wall time)
 #
 # Requires only a POSIX sh plus date/awk/grep/sed — no network access.
 
@@ -23,10 +33,12 @@ cd "$(dirname "$0")/.."
 
 MODE=full
 COMPARE=0
+UPDATE=0
 for arg in "$@"; do
     case $arg in
     --quick) MODE=quick ;;
     --compare) COMPARE=1 ;;
+    --update) UPDATE=1 ;;
     *)
         echo "bench.sh: unknown argument '$arg'" >&2
         exit 2
@@ -34,6 +46,12 @@ for arg in "$@"; do
     esac
 done
 OUT=${PCIE_BENCH_JSON:-BENCH_sim.json}
+
+if [ "$UPDATE" = 1 ] && ! git diff --quiet HEAD -- . 2>/dev/null; then
+    echo "bench.sh: --update refuses a dirty tree — commit or stash first," >&2
+    echo "          so the regenerated $OUT is attributable to a commit" >&2
+    exit 2
+fi
 CPUS=$(nproc 2>/dev/null || echo 1)
 THREADS=${PCIE_BENCH_THREADS:-$CPUS}
 
@@ -45,7 +63,8 @@ secs() { awk "BEGIN{printf \"%.3f\", ($2-$1)/1e9}" </dev/null; }
 ratio() { awk "BEGIN{if ($2+0==0) print \"null\"; else printf \"%.3f\", $1/$2}" </dev/null; }
 
 RUNS_FILE=$(mktemp)
-trap 'rm -f "$RUNS_FILE"' EXIT
+BUDGET_FILE=$(mktemp)
+trap 'rm -f "$RUNS_FILE" "$BUDGET_FILE"' EXIT
 add_run() { printf '%s\n' "$1" >>"$RUNS_FILE"; }
 
 # field <bench-line> <key> — pull key=value off a `# BENCH suite` line.
@@ -93,6 +112,17 @@ done
 fig_run ext_drivers --quick
 fig_run ext_flows --quick
 
+# ext_hotpath: the per-component cost budget. Its wall time is a run
+# like any other; its `# BENCH hotpath` lines become the cost_budget
+# section of $OUT, which --compare gates per component.
+t0=$(now_ns)
+hotpath_out=$(PCIE_BENCH_THREADS=$THREADS ./target/release/ext_hotpath)
+printf '%s\n' "$hotpath_out" | grep '^# BENCH hotpath' >"$BUDGET_FILE"
+t1=$(now_ns)
+wall=$(secs "$t0" "$t1")
+add_run "{\"name\":\"ext_hotpath\",\"wall_s\":$wall,\"threads\":$THREADS}"
+echo "==> ext_hotpath: ${wall}s ($(wc -l <"$BUDGET_FILE") components)"
+
 Q_SPEEDUP=$(ratio "$Q_SEQ" "$Q_PAR")
 
 # When a previous $OUT exists, print per-entry wall-time deltas against
@@ -112,13 +142,40 @@ if [ -f "$OUT" ]; then
                  printf \"==>   %-20s %8.3fs -> %8.3fs  (%+.3fs, %+.1f%%)\n\", \
                  \"$name\", $old_w, $new_w, d, p}" </dev/null
             if [ "$COMPARE" = 1 ]; then
-                worse=$(awk "BEGIN{print ($new_w > $old_w * (1 + $TOL_PCT / 100)) ? 1 : 0}" </dev/null)
+                # Percentage alone flakes on millisecond-scale runs
+                # (the quick suite is ~30 ms), so a regression must
+                # also clear a 50 ms absolute floor to count.
+                worse=$(awk "BEGIN{print ($new_w > $old_w * (1 + $TOL_PCT / 100) && $new_w - $old_w > 0.05) ? 1 : 0}" </dev/null)
                 [ "$worse" = 1 ] && REGRESSED="$REGRESSED $name"
             fi
         else
             echo "==>   $name ${new_w}s (no previous entry)"
         fi
     done <"$RUNS_FILE"
+    # Per-component cost-budget deltas. The baseline keys live in the
+    # previous file's cost_budget object ("<component>": <ns>); a
+    # baseline predating the section simply has no previous entries.
+    BUDGET_TOL=${PCIE_BENCH_BUDGET_PCT:-60}
+    echo "==> cost-budget deltas vs previous $OUT (tolerance ${BUDGET_TOL}%)"
+    while IFS= read -r bline; do
+        comp=$(printf '%s\n' "$bline" | sed -n 's/.*component=\([a-z0-9_]*\).*/\1/p')
+        new_c=$(field "$bline" ns_per_op)
+        old_c=$(grep -o "\"$comp\": *[0-9.]*" "$OUT" | head -n 1 | sed 's/.*: *//')
+        if [ -n "${old_c:-}" ] && [ -n "${new_c:-}" ]; then
+            awk "BEGIN{d=$new_c-$old_c; p=($old_c==0)?0:100*d/$old_c; \
+                 printf \"==>   %-24s %8.2fns -> %8.2fns  (%+.2fns, %+.1f%%)\n\", \
+                 \"$comp\", $old_c, $new_c, d, p}" </dev/null
+            if [ "$COMPARE" = 1 ]; then
+                # Same shape as the wall gate: percentage plus a
+                # 0.5 ns absolute floor, so the ~2 ns components
+                # don't trip on sub-ns differential-loop noise.
+                worse=$(awk "BEGIN{print ($new_c > $old_c * (1 + $BUDGET_TOL / 100) && $new_c - $old_c > 0.5) ? 1 : 0}" </dev/null)
+                [ "$worse" = 1 ] && REGRESSED="$REGRESSED hotpath:$comp"
+            fi
+        else
+            echo "==>   $comp ${new_c}ns (no previous entry)"
+        fi
+    done <"$BUDGET_FILE"
 elif [ "$COMPARE" = 1 ]; then
     echo "bench.sh: --compare needs a committed $OUT baseline, none found" >&2
     exit 2
@@ -134,6 +191,13 @@ fi
   "threads": $THREADS,
   "suite_quick_speedup": $Q_SPEEDUP,
   "suite_paper_speedup": $P_SPEEDUP,
+  "cost_budget": {
+EOF
+    # `# BENCH hotpath component=X ns_per_op=Y` → `"X": Y`, comma-joined.
+    sed -n 's/.*component=\([a-z0-9_]*\) ns_per_op=\([0-9.]*\).*/    "\1": \2/p' "$BUDGET_FILE" |
+        sed '$!s/$/,/'
+    cat <<EOF
+  },
   "runs": [
 EOF
     # Comma-join the accumulated run objects.
@@ -145,8 +209,8 @@ echo "==> wrote $OUT (quick speedup ${Q_SPEEDUP}x, paper speedup $P_SHOWN)"
 
 if [ "$COMPARE" = 1 ]; then
     if [ -n "$REGRESSED" ]; then
-        echo "==> FAIL: wall time regressed >${TOL_PCT}% vs baseline:$REGRESSED" >&2
+        echo "==> FAIL: regressed vs baseline (wall >${TOL_PCT}%, hotpath:* components >${PCIE_BENCH_BUDGET_PCT:-60}%):$REGRESSED" >&2
         exit 1
     fi
-    echo "==> compare: no run regressed >${TOL_PCT}% vs baseline"
+    echo "==> compare: no run or cost-budget component regressed vs baseline"
 fi

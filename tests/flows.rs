@@ -116,6 +116,33 @@ fn small_engine(queues: u32) -> FlowEngine {
     FlowEngine::new(cfg, profile)
 }
 
+/// The quick-tier Pareto profile keeps the quick scale but carries
+/// the million-flow tail: valid parameters, heavier mean flow length
+/// than the plain quick profile, Pareto (not fixed) wire sizes — and
+/// the engine consumes it deterministically.
+#[test]
+fn quick_pareto_profile_smokes_the_heavy_tail() {
+    let q = TrafficProfile::quick(6.0e6);
+    let qp = TrafficProfile::quick_pareto(6.0e6);
+    qp.validate().expect("quick_pareto must validate");
+    assert_eq!((qp.flows, qp.packets), (q.flows, q.packets), "same scale");
+    assert!(
+        qp.flow_length.mean() > q.flow_length.mean(),
+        "tail must be heavier: {} vs {}",
+        qp.flow_length.mean(),
+        q.flow_length.mean()
+    );
+    assert!(
+        qp.offered_gbps() > q.offered_gbps(),
+        "Pareto wire sizes outweigh fixed 128B"
+    );
+    let e = FlowEngine::new(FlowEngineConfig::default(), qp);
+    let pool = Pool::sequential();
+    let a = e.run(&pool, platform).fingerprint();
+    let b = e.run(&pool, platform).fingerprint();
+    assert_eq!(a, b, "heavy-tail quick profile must replay exactly");
+}
+
 /// The engine is reproducible run-to-run: two runs with the same
 /// config and pool produce the same fingerprint.
 #[test]
