@@ -132,6 +132,28 @@ impl MultiPlatform {
         self.topo.switch()
     }
 
+    /// Installs `plan` on every link of the platform: each device
+    /// link and — when switched — the shared uplink. Each link gets
+    /// its own injection streams via an indexed seed stream, so adding
+    /// a device does not reshuffle the faults seen by the others. An
+    /// inactive plan (e.g. [`pcie_fault::FaultPlan::none`] or a
+    /// zero-BER plan) removes every injector, restoring the exact
+    /// fault-free path — switched runs are then bit-identical to runs
+    /// that never called this.
+    pub fn set_fault_plan(&mut self, plan: &pcie_fault::FaultPlan, seed: u64) {
+        /// Stream-family salt for per-link fault seeds.
+        const FAULT_SALT: u64 = 0x00A9_C5E1_5EED_FA17;
+        for (i, e) in self.engines.iter_mut().enumerate() {
+            let s = pcie_sim::SplitMix64::stream(seed, FAULT_SALT, i as u64).next_u64();
+            e.set_fault_plan(plan, s);
+        }
+        if let Some(sw) = self.topo.switch_mut() {
+            let n = self.engines.len() as u64;
+            let s = pcie_sim::SplitMix64::stream(seed, FAULT_SALT, n).next_u64();
+            sw.set_fault_plan(plan, s);
+        }
+    }
+
     /// DMA read from device `i` into host memory.
     pub fn dma_read(
         &mut self,
@@ -287,6 +309,12 @@ impl MultiPlatform {
                 let mut g = sw.uplink().telemetry_group(dir);
                 g.component = name.to_string();
                 snap.add_group(g);
+                if let Some(mut g) = sw.uplink().replay_telemetry_group(dir) {
+                    // "link.replay.upstream" → "topo.uplink.replay.upstream"
+                    g.component =
+                        format!("topo.uplink.{}", g.component.trim_start_matches("link."));
+                    snap.add_group(g);
+                }
             }
         }
         snap
@@ -433,6 +461,107 @@ mod tests {
             }
         }
         p.host.iommu().unwrap().stats()
+    }
+
+    /// A two-device switched platform plus a warm 1 MiB host buffer.
+    fn switched_pair() -> (MultiPlatform, HostBuffer) {
+        let mut alloc = BufferAllocator::default_layout();
+        let buf = alloc.alloc(1 << 20, 0);
+        let mut host = HostSystem::new(HostPreset::netfpga_hsw(), 11);
+        host.host_warm(&buf, 0, 1 << 20);
+        let p = MultiPlatform::homogeneous_switched(
+            2,
+            DeviceParams::netfpga(),
+            LinkConfig::gen3_x8(),
+            LinkTiming::default(),
+            host,
+            SwitchConfig::gen3_x8(),
+        );
+        (p, buf)
+    }
+
+    /// Mixed uplink + crossbar traffic: host DMA writes from device 0
+    /// interleaved with peer writes 0→1. Returns every completion
+    /// instant in picoseconds — a full timing trace, so two runs are
+    /// bit-identical iff the traces match.
+    fn drive_switched(p: &mut MultiPlatform, buf: &HostBuffer) -> Vec<u64> {
+        let mut trace = Vec::with_capacity(4096);
+        for i in 0..2_000u64 {
+            let off = (i * 256) % ((1 << 20) - 256);
+            let r = p.dma_write(0, SimTime::ZERO, buf, off, 256, DmaPath::DmaEngine);
+            trace.push(r.done.as_ps());
+            let r = p.p2p_write(0, 1, SimTime::ZERO, (i * 64) % 4096, 64);
+            trace.push(r.done.as_ps());
+        }
+        trace
+    }
+
+    #[test]
+    fn inactive_fault_plan_keeps_switched_runs_bit_identical() {
+        let (mut base, buf) = switched_pair();
+        let baseline = drive_switched(&mut base, &buf);
+
+        for plan in [
+            pcie_fault::FaultPlan::none(),
+            pcie_fault::FaultPlan::symmetric_ber(0.0),
+        ] {
+            let (mut p, buf) = switched_pair();
+            p.set_fault_plan(&plan, 42);
+            let trace = drive_switched(&mut p, &buf);
+            assert_eq!(trace, baseline, "inactive plan must not perturb timing");
+            let up = p.switch().unwrap().uplink();
+            let bup = base.switch().unwrap().uplink();
+            for dir in [Direction::Upstream, Direction::Downstream] {
+                assert_eq!(up.counters(dir), bup.counters(dir));
+                assert!(up.replay_telemetry_group(dir).is_none());
+            }
+            let snap = p.telemetry_snapshot("ber0");
+            assert!(
+                !snap.groups().iter().any(|g| g.component.contains("replay")),
+                "inactive plan must leave no replay groups in the snapshot"
+            );
+        }
+    }
+
+    #[test]
+    fn uplink_ber_causes_replays_and_slows_the_fabric() {
+        let (mut base, buf) = switched_pair();
+        let baseline = drive_switched(&mut base, &buf);
+
+        let (mut p, buf) = switched_pair();
+        p.set_fault_plan(&pcie_fault::FaultPlan::symmetric_ber(2e-5), 42);
+        let trace = drive_switched(&mut p, &buf);
+        assert_eq!(
+            trace.len(),
+            baseline.len(),
+            "every transfer still completes"
+        );
+        let total: u64 = trace.iter().sum();
+        let base_total: u64 = baseline.iter().sum();
+        assert!(total > base_total, "replays must cost wire time somewhere");
+
+        let snap = p.telemetry_snapshot("ber");
+        let replays: u64 = [
+            "topo.uplink.replay.upstream",
+            "topo.uplink.replay.downstream",
+        ]
+        .iter()
+        .map(|name| {
+            let g = snap
+                .group(name)
+                .unwrap_or_else(|| panic!("missing {name} group"));
+            g.get("replays").unwrap()
+        })
+        .sum();
+        assert!(
+            replays > 0,
+            "the shared uplink must see replays at this BER"
+        );
+        // The per-device links carry the same plan (distinct streams).
+        assert!(snap
+            .groups()
+            .iter()
+            .any(|g| g.component.starts_with("dev0.link.replay")));
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! The staged device pipeline: typed hop events over the timing wheel.
+//!
+//! `QueueSim` and `DriverSim` both rediscovered the same discipline:
+//! platform issue ports are FIFO [`Timeline`](pcie_sim::Timeline)s, so
+//! a platform call made "in the future" out of call order compounds
+//! into artificial queueing — every call must be *deferred* until its
+//! event time and issued in event-time order. [`DevicePipeline`] lifts
+//! that discipline into a reusable abstraction: a typed event queue
+//! over the hierarchical timing wheel where each entry is one hop of a
+//! multi-device pipeline (fabric crossing, service completion, egress
+//! serialisation), popped strictly in time order and issued at exactly
+//! its scheduled instant.
+//!
+//! The simulation loop shape it supports:
+//!
+//! ```text
+//! while let Some((at, hop)) = pipeline.next_before(until) {
+//!     // issue the hop's platform calls with want == at
+//! }
+//! ```
+//!
+//! which keeps borrowing simple (the pop happens before the handler
+//! borrows the rest of the simulation mutably) and keeps determinism
+//! trivial: the pop order is a pure function of the scheduled times
+//! and FIFO insertion order, independent of anything concurrent.
+
+use pcie_sim::{EventQueue, SimTime};
+
+/// A deferred-issuance event queue for staged device pipelines.
+///
+/// Thin, typed wrapper over [`EventQueue`] that adds the two things a
+/// pipeline loop needs: bounded extraction ([`next_before`]) and an
+/// issued-hop counter for reconciliation.
+///
+/// [`next_before`]: DevicePipeline::next_before
+pub struct DevicePipeline<E> {
+    wheel: EventQueue<E>,
+    issued: u64,
+}
+
+impl<E> core::fmt::Debug for DevicePipeline<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("DevicePipeline")
+            .field("len", &self.wheel.len())
+            .field("issued", &self.issued)
+            .finish()
+    }
+}
+
+impl<E> Default for DevicePipeline<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> DevicePipeline<E> {
+    /// An empty pipeline.
+    pub fn new() -> Self {
+        DevicePipeline {
+            wheel: EventQueue::new(),
+            issued: 0,
+        }
+    }
+
+    /// Schedules hop `ev` at `at`. `label` names the hop in the
+    /// past-event panic message, as with
+    /// [`EventQueue::push_labeled`].
+    pub fn schedule(&mut self, at: SimTime, label: &'static str, ev: E) {
+        self.wheel.push_labeled(at, label, ev);
+    }
+
+    /// Pops the earliest hop if it is due at or before `until`;
+    /// `None` once every hop ≤ `until` has been issued. Ties pop in
+    /// insertion order (FIFO within a wheel slot), so the issue order
+    /// is deterministic.
+    pub fn next_before(&mut self, until: SimTime) -> Option<(SimTime, E)> {
+        if self.wheel.peek_time()? > until {
+            return None;
+        }
+        self.issued += 1;
+        self.wheel.pop()
+    }
+
+    /// Time of the earliest scheduled hop, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.wheel.peek_time()
+    }
+
+    /// Jumps the wheel cursor across a quiescent gap to `to` (see
+    /// [`EventQueue::fast_forward`]); only meaningful while the
+    /// pipeline is empty.
+    pub fn fast_forward(&mut self, to: SimTime) {
+        self.wheel.fast_forward(to);
+    }
+
+    /// Hops currently scheduled.
+    pub fn len(&self) -> usize {
+        self.wheel.len()
+    }
+
+    /// True when no hop is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.wheel.is_empty()
+    }
+
+    /// Hops issued so far (popped via [`DevicePipeline::next_before`]).
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_bounded_by_until() {
+        let mut p: DevicePipeline<u32> = DevicePipeline::new();
+        p.schedule(SimTime::from_ns(30), "c", 3);
+        p.schedule(SimTime::from_ns(10), "a", 1);
+        p.schedule(SimTime::from_ns(20), "b", 2);
+        assert_eq!(p.len(), 3);
+        let mut seen = Vec::new();
+        while let Some((at, v)) = p.next_before(SimTime::from_ns(20)) {
+            seen.push((at.as_ns(), v));
+        }
+        assert_eq!(seen, [(10, 1), (20, 2)]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.issued(), 2);
+        // The remaining hop is past `until`.
+        assert!(p.next_before(SimTime::from_ns(29)).is_none());
+        assert_eq!(p.next_before(SimTime::MAX), Some((SimTime::from_ns(30), 3)));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn ties_pop_in_insertion_order() {
+        let mut p: DevicePipeline<&str> = DevicePipeline::new();
+        let t = SimTime::from_ns(5);
+        p.schedule(t, "x", "first");
+        p.schedule(t, "x", "second");
+        assert_eq!(p.next_before(t).unwrap().1, "first");
+        assert_eq!(p.next_before(t).unwrap().1, "second");
+    }
+
+    #[test]
+    fn fast_forward_skips_quiescent_gap() {
+        let mut p: DevicePipeline<u8> = DevicePipeline::new();
+        p.schedule(SimTime::from_ns(1), "a", 0);
+        assert!(p.next_before(SimTime::MAX).is_some());
+        p.fast_forward(SimTime::from_us(50));
+        p.schedule(SimTime::from_us(50), "b", 1);
+        assert_eq!(p.peek_time(), Some(SimTime::from_us(50)));
+    }
+}

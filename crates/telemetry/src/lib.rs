@@ -24,6 +24,12 @@
 //!   patterns; the six stage contributions likewise sum exactly to the
 //!   packet's end-to-end latency, and its `rx_dma`/`tx_dma` stages
 //!   nest the DMA-level breakdown;
+//! * [`RpcStage`] / [`RpcStageStats`] — the per-RPC fabric pipeline
+//!   used by `pcie-rpc` (`ingress_dma → steer → fabric_req →
+//!   accel_service → fabric_resp → egress_dma`), spanning two devices
+//!   and the switch between them; the stage contributions again sum
+//!   exactly to the end-to-end latency, and mergeable accumulators let
+//!   per-queue workers aggregate into exact whole-run quantiles;
 //! * JSON and CSV export ([`Snapshot::to_json`], [`Snapshot::to_csv`])
 //!   with zero external dependencies, consumed by `repro_report`,
 //!   `pciebench_cli` and the figure binaries.
@@ -57,11 +63,13 @@ pub mod counters;
 pub mod driver;
 pub mod hist;
 pub mod json;
+pub mod rpc;
 pub mod snapshot;
 pub mod stages;
 
 pub use counters::CounterGroup;
 pub use driver::{DriverStage, DriverStageSample, DriverStageStats, DRIVER_STAGES};
 pub use hist::LatencyHistogram;
+pub use rpc::{RpcStage, RpcStageSample, RpcStageStats, RPC_STAGES};
 pub use snapshot::{Snapshot, StageReport};
 pub use stages::{Stage, StageSample, StageStats};

@@ -19,6 +19,7 @@
 //! caller must bounce them through the root complex (see
 //! `SwitchConfig::acs_redirect` and the P2P path in `pcie-device`).
 
+use pcie_fault::FaultPlan;
 use pcie_link::{Direction, Link, LinkTiming};
 use pcie_model::LinkConfig;
 use pcie_sim::SimTime;
@@ -201,6 +202,17 @@ impl Switch {
     /// The shared upstream link (read access for telemetry and tests).
     pub fn uplink(&self) -> &Link {
         &self.uplink
+    }
+
+    /// Installs a fault plan on the shared upstream link, deriving the
+    /// injection streams from `seed`. DLL-level faults (bit errors,
+    /// replays, NAKs) are meaningful on the fabric's shared wire
+    /// exactly as on a device link; an inactive plan (e.g.
+    /// [`FaultPlan::none`] or a zero-BER plan) removes the injector
+    /// entirely, so the fault-free switched path stays bit-identical
+    /// to a switch that never saw this call.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan, seed: u64) {
+        self.uplink.set_fault_plan(*plan, seed);
     }
 
     /// Registers a BAR window `[base, base+len)` owned by `port`'s

@@ -111,6 +111,7 @@ for fig in fig4_baseline_bw fig5_latency_size fig7_cache_ddio fig8_numa fig9_iom
 done
 fig_run ext_drivers --quick
 fig_run ext_flows --quick
+fig_run ext_rpc --quick
 
 # ext_hotpath: the per-component cost budget. Its wall time is a run
 # like any other; its `# BENCH hotpath` lines become the cost_budget

@@ -29,6 +29,11 @@
 //!   steering onto per-queue descriptor rings, a slab-backed flow
 //!   table for 10⁵–10⁷ concurrent flows, declarative open-loop
 //!   traffic profiles, and a deterministic multi-queue engine;
+//! * [`rpc`] — end-to-end RPC serving over the switch fabric: RSS
+//!   steering onto per-queue rings, device-to-device forwarding to an
+//!   accelerator and back, with selectable host-bypass (crossbar P2P)
+//!   and host-bounce (ACS redirect through root complex + IOMMU)
+//!   datapaths and six-stage telescoping latency attribution;
 //! * [`par`] — the deterministic scoped worker pool that fans
 //!   independent grid points across cores (`PCIE_BENCH_THREADS`)
 //!   while keeping results bit-identical to a sequential run.
@@ -62,6 +67,7 @@ pub use pcie_link as link;
 pub use pcie_model as model;
 pub use pcie_nic as nic;
 pub use pcie_par as par;
+pub use pcie_rpc as rpc;
 pub use pcie_sim as sim;
 pub use pcie_tlp as tlp;
 pub use pcie_topo as topo;

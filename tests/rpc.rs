@@ -1,0 +1,92 @@
+//! RPC-engine properties (ISSUE 10 satellite), mirroring the flows
+//! suite: run-to-run reproducibility, pool-width stability
+//! (`threads:1` vs `threads:N` bit-identical), seed sensitivity, and
+//! datapath observability — switching host-bypass to host-bounce must
+//! change the fingerprint, because the whole point is that the fabric
+//! route is behaviourally visible.
+
+use pcie_bench_repro::par::Pool;
+use pcie_bench_repro::rpc::{Datapath, RpcEngine, RpcEngineConfig, RpcProfile};
+
+fn engine(datapath: Datapath) -> RpcEngine {
+    let cfg = RpcEngineConfig {
+        queues: 3,
+        datapath,
+        ..RpcEngineConfig::default()
+    };
+    // 0.5x the 3-queue aggregate accelerator capacity: busy but not
+    // saturated, so both fabric and service stages carry signal.
+    RpcEngine::new(cfg, RpcProfile::standard(30.0e6, 9_000))
+}
+
+/// The engine is reproducible run-to-run: two runs with the same
+/// config and pool produce the same fingerprint.
+#[test]
+fn engine_is_reproducible_across_runs() {
+    for path in [Datapath::HostBypass, Datapath::HostBounce] {
+        let e = engine(path);
+        let pool = Pool::sequential();
+        assert_eq!(e.run(&pool).fingerprint(), e.run(&pool).fingerprint());
+    }
+}
+
+/// Pool width is unobservable: a sequential run and runs fanned over
+/// 2 and 5 workers produce bit-identical fingerprints.
+#[test]
+fn engine_pool_width_is_unobservable() {
+    for path in [Datapath::HostBypass, Datapath::HostBounce] {
+        let e = engine(path);
+        let seq = e.run(&Pool::sequential()).fingerprint();
+        for threads in [2, 5] {
+            let par = e.run(&Pool::with_threads(threads)).fingerprint();
+            assert_eq!(
+                seq,
+                par,
+                "{}: threads:{threads} diverged from sequential",
+                path.name()
+            );
+        }
+    }
+}
+
+/// Changing only the engine seed changes the fingerprint — the seed
+/// actually reaches the arrival, key, size and host streams.
+#[test]
+fn engine_seed_reaches_every_stream() {
+    let base = engine(Datapath::HostBypass);
+    let mut cfg = base.config().clone();
+    cfg.seed ^= 1;
+    let reseeded = RpcEngine::new(cfg, base.profile().clone());
+    let pool = Pool::sequential();
+    assert_ne!(
+        base.run(&pool).fingerprint(),
+        reseeded.run(&pool).fingerprint()
+    );
+}
+
+/// The datapath is behaviourally observable: the same seed and
+/// profile on bypass vs bounce produce different fingerprints, and
+/// only the bounce run touches the root complex.
+#[test]
+fn datapath_is_observable() {
+    let pool = Pool::sequential();
+    let bypass = engine(Datapath::HostBypass).run(&pool);
+    let bounce = engine(Datapath::HostBounce).run(&pool);
+    assert_ne!(bypass.fingerprint(), bounce.fingerprint());
+    assert_eq!(bypass.p2p_redirects(), 0);
+    assert!(bounce.p2p_redirects() > 0);
+    assert!(bounce.p99_ns() > bypass.p99_ns());
+}
+
+/// RSS steering of RPC keys is seed-stable: the per-queue RPC split
+/// is identical across runs and sums to the offered count.
+#[test]
+fn steering_split_is_stable_and_complete() {
+    let e = engine(Datapath::HostBypass);
+    let pool = Pool::sequential();
+    let a = e.run(&pool);
+    let b = e.run(&pool);
+    assert_eq!(a.rpcs_per_queue, b.rpcs_per_queue);
+    assert_eq!(a.rpcs_per_queue.iter().sum::<u64>(), a.offered());
+    assert!(a.rpcs_per_queue.iter().all(|&n| n > 0), "every queue used");
+}

@@ -395,3 +395,129 @@ fn iommu_counters_present_only_when_enabled() {
     assert!(hits + misses > 0, "IOTLB saw traffic");
     assert_eq!(iommu.get("page_walks"), Some(misses));
 }
+
+#[test]
+fn rpc_stage_sums_telescope_to_end_to_end() {
+    // The six rpc.stages must sum exactly to the end-to-end latency,
+    // per RPC and therefore in aggregate — the in-run assertion pins
+    // it per queue; this pins the merged whole-run accumulator and
+    // the exported group.
+    use pcie_bench_repro::par::Pool;
+    use pcie_bench_repro::rpc::{Datapath, RpcEngine, RpcEngineConfig, RpcProfile};
+    use pcie_telemetry::RPC_STAGES;
+
+    for datapath in [Datapath::HostBypass, Datapath::HostBounce] {
+        let cfg = RpcEngineConfig {
+            queues: 2,
+            datapath,
+            ..RpcEngineConfig::default()
+        };
+        let r = RpcEngine::new(cfg, RpcProfile::standard(20.0e6, 6_000)).run(&Pool::sequential());
+        let grand = r.stages.grand_total_ns();
+        let e2e = r.stages.end_to_end().total_ns();
+        assert!(
+            (grand - e2e).abs() <= 1e-6 * grand.max(1.0),
+            "{}: stage sum {grand} must telescope to end-to-end {e2e}",
+            datapath.name()
+        );
+        assert_eq!(r.stages.rpcs(), r.completed());
+        assert_eq!(r.stages.end_to_end().count(), r.completed());
+        // The exported group carries the same ledger.
+        let snap = r.snapshot("telescoping");
+        let g = snap.group("rpc.stages").expect("rpc.stages group");
+        let from_group: u64 = RPC_STAGES
+            .iter()
+            .map(|s| g.get(&format!("{}_total_ns", s.name())).unwrap())
+            .sum();
+        // Each stage total is truncated to u64 on export, so the sum
+        // may sit up to one count per stage below the float ledger.
+        assert!(
+            (from_group as i64 - grand as i64).unsigned_abs() <= RPC_STAGES.len() as u64,
+            "group stage sum {from_group} must track grand total {grand}"
+        );
+        assert_eq!(g.get("end_to_end_total_ns"), Some(e2e as u64));
+    }
+}
+
+#[test]
+fn rpc_bypass_fabric_bytes_reconcile_eq1_on_the_crossbar() {
+    // Host-bypass: every completed RPC crosses the crossbar twice —
+    // a 256 B request 0→1 and a 128 B response 1→0 — each costing
+    // Eq. 1 wire bytes on the port pair, with the shared uplink, the
+    // root complex and the IOMMU untouched.
+    use pcie_bench_repro::model::LinkConfig;
+    use pcie_bench_repro::par::Pool;
+    use pcie_bench_repro::rpc::{Datapath, RpcEngine, RpcEngineConfig, RpcProfile};
+
+    let link = LinkConfig::gen3_x8();
+    let cfg = RpcEngineConfig {
+        queues: 2,
+        datapath: Datapath::HostBypass,
+        ..RpcEngineConfig::default()
+    };
+    let r = RpcEngine::new(cfg, RpcProfile::standard(20.0e6, 6_000)).run(&Pool::sequential());
+    assert_eq!(r.dropped(), 0, "sub-capacity run must not drop");
+    for q in &r.queues {
+        let done = q.counters.completed;
+        let req = done * model::dma_write_bytes(&link, 256);
+        let resp = done * model::dma_write_bytes(&link, 128);
+        assert_eq!(q.ports[0].p2p_in_bytes, req, "queue {}: req in", q.queue);
+        assert_eq!(q.ports[1].p2p_out_bytes, req, "queue {}: req out", q.queue);
+        assert_eq!(q.ports[1].p2p_in_bytes, resp, "queue {}: resp in", q.queue);
+        assert_eq!(
+            q.ports[0].p2p_out_bytes, resp,
+            "queue {}: resp out",
+            q.queue
+        );
+        assert_eq!(q.uplink_up.0, 0, "no uplink TLPs");
+        assert_eq!(q.uplink_down.0, 0);
+        assert_eq!(q.p2p_redirects, 0);
+        assert_eq!(q.iommu_hits + q.iommu_misses, 0, "IOMMU never consulted");
+    }
+}
+
+#[test]
+fn rpc_bounce_fabric_bytes_reconcile_eq1_via_uplink() {
+    // Host-bounce: the same two crossings now climb the shared uplink
+    // (up from the source port, down to the destination port), with
+    // one root-complex validation and one IOMMU translation per TLP.
+    // Eq. 1 must reconcile on the port counters AND on the uplink's
+    // own wire counters, direction by direction.
+    use pcie_bench_repro::model::LinkConfig;
+    use pcie_bench_repro::par::Pool;
+    use pcie_bench_repro::rpc::{Datapath, RpcEngine, RpcEngineConfig, RpcProfile};
+
+    let link = LinkConfig::gen3_x8();
+    let cfg = RpcEngineConfig {
+        queues: 2,
+        datapath: Datapath::HostBounce,
+        ..RpcEngineConfig::default()
+    };
+    let r = RpcEngine::new(cfg, RpcProfile::standard(10.0e6, 6_000)).run(&Pool::sequential());
+    for q in &r.queues {
+        let done = q.counters.completed;
+        let req = done * model::dma_write_bytes(&link, 256);
+        let resp = done * model::dma_write_bytes(&link, 128);
+        // Port ledger: requests climb from port 0 and descend to port
+        // 1; responses the reverse. The crossbar is never used.
+        assert_eq!(q.ports[0].up_bytes, req, "queue {}: req up", q.queue);
+        assert_eq!(q.ports[1].down_bytes, req, "queue {}: req down", q.queue);
+        assert_eq!(q.ports[1].up_bytes, resp, "queue {}: resp up", q.queue);
+        assert_eq!(q.ports[0].down_bytes, resp, "queue {}: resp down", q.queue);
+        assert_eq!(q.ports[0].p2p_in_bytes + q.ports[1].p2p_in_bytes, 0);
+        // Uplink wire ledger agrees with the sum over ports.
+        assert_eq!(q.uplink_up.1, req + resp, "queue {}: uplink up", q.queue);
+        assert_eq!(
+            q.uplink_down.1,
+            req + resp,
+            "queue {}: uplink down",
+            q.queue
+        );
+        // One redirect + one translation per TLP, two TLPs per RPC
+        // (256 B and 128 B both fit one MPS-sized chunk), and the
+        // 512-page BAR sweep defeats the 64-entry IO-TLB entirely.
+        assert_eq!(q.p2p_redirects, 2 * done, "queue {}: redirects", q.queue);
+        assert_eq!(q.iommu_misses, 2 * done, "queue {}: all misses", q.queue);
+        assert_eq!(q.iommu_hits, 0, "queue {}: no hits", q.queue);
+    }
+}
